@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench bench-dsp experiments experiments-paper cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B per paper table/figure (bench_test.go) plus DSP
+# micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-dsp:
+	$(GO) test -bench=. -benchmem ./internal/dsp/
+
+# Regenerate every table and figure at the default (medium) scale.
+experiments:
+	$(GO) run ./cmd/vibebench
+
+# The full 155k-measurement reproduction (minutes).
+experiments-paper:
+	$(GO) run ./cmd/vibebench -scale paper
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzz bursts over the binary codec and the transport protocol.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/store/
+	$(GO) test -fuzz=FuzzTransfer -fuzztime=30s ./internal/flush/
+
+clean:
+	$(GO) clean ./...

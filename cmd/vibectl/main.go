@@ -1,0 +1,200 @@
+// Command vibectl is a small client for the vibed analysis server.
+//
+// Usage:
+//
+//	vibectl [-server http://localhost:8080] pumps
+//	vibectl measurements <pump> [-from D] [-to D]
+//	vibectl zone <pump>
+//	vibectl rul <pump>
+//	vibectl boundary
+//	vibectl period
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "vibed base URL")
+	from := flag.Float64("from", -1, "range start in service days (measurements)")
+	to := flag.Float64("to", -1, "range end in service days (measurements)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	c := &cli{base: *server, client: client}
+
+	var err error
+	switch args[0] {
+	case "pumps":
+		err = c.pumps()
+	case "measurements":
+		err = c.measurements(needPump(args), *from, *to)
+	case "zone":
+		err = c.getJSON(fmt.Sprintf("/api/v1/analysis/pumps/%d/zone", needPump(args)))
+	case "rul":
+		err = c.getJSON(fmt.Sprintf("/api/v1/analysis/pumps/%d/rul", needPump(args)))
+	case "boundary":
+		err = c.getJSON("/api/v1/analysis/boundary")
+	case "fleet":
+		err = c.fleet()
+	case "period":
+		err = c.getJSON("/api/v1/period")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vibectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vibectl [-server URL] pumps | measurements <pump> | zone <pump> | rul <pump> | fleet | boundary | period")
+	os.Exit(2)
+}
+
+func needPump(args []string) int {
+	if len(args) < 2 {
+		usage()
+	}
+	id, err := strconv.Atoi(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vibectl: bad pump id %q\n", args[1])
+		os.Exit(2)
+	}
+	return id
+}
+
+type cli struct {
+	base   string
+	client *http.Client
+}
+
+func (c *cli) get(path string) ([]byte, error) {
+	resp, err := c.client.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, string(body))
+	}
+	return body, nil
+}
+
+// getJSON pretty-prints a JSON endpoint.
+func (c *cli) getJSON(path string) error {
+	body, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func (c *cli) pumps() error {
+	body, err := c.get("/api/v1/pumps")
+	if err != nil {
+		return err
+	}
+	var v struct {
+		Pumps []int `json:"pumps"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return err
+	}
+	for _, id := range v.Pumps {
+		fmt.Println(id)
+	}
+	return nil
+}
+
+func (c *cli) measurements(pump int, from, to float64) error {
+	path := fmt.Sprintf("/api/v1/pumps/%d/measurements", pump)
+	sep := "?"
+	if from >= 0 {
+		path += fmt.Sprintf("%sfrom=%g", sep, from)
+		sep = "&"
+	}
+	if to >= 0 {
+		path += fmt.Sprintf("%sto=%g", sep, to)
+	}
+	body, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	var v struct {
+		Measurements []struct {
+			ServiceDays  float64    `json:"service_days"`
+			SampleRateHz float64    `json:"sample_rate_hz"`
+			Samples      int        `json:"samples"`
+			RMS          float64    `json:"rms_g"`
+			Offsets      [3]float64 `json:"offsets_g"`
+		} `json:"measurements"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-10s %-8s %-10s %s\n", "day", "rate (Hz)", "K", "RMS (g)", "offsets (g)")
+	for _, m := range v.Measurements {
+		fmt.Printf("%-12.3f %-10.0f %-8d %-10.4f %+.3f %+.3f %+.3f\n",
+			m.ServiceDays, m.SampleRateHz, m.Samples, m.RMS,
+			m.Offsets[0], m.Offsets[1], m.Offsets[2])
+	}
+	return nil
+}
+
+func (c *cli) fleet() error {
+	body, err := c.get("/api/v1/analysis/fleet")
+	if err != nil {
+		return err
+	}
+	var v struct {
+		Fleet []struct {
+			PumpID  int     `json:"pump_id"`
+			Da      float64 `json:"da"`
+			Zone    int     `json:"zone"`
+			HasRUL  bool    `json:"has_rul"`
+			RULDays float64 `json:"rul_days"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return err
+	}
+	zoneName := map[int]string{1: "Zone A", 2: "Zone BC", 3: "Zone D"}
+	fmt.Printf("%-6s %-9s %-9s %s\n", "pump", "Da", "zone", "RUL (d)")
+	for _, r := range v.Fleet {
+		rul := "-"
+		if r.HasRUL {
+			rul = fmt.Sprintf("%.0f", r.RULDays)
+		}
+		name := zoneName[r.Zone]
+		if name == "" {
+			name = "?"
+		}
+		fmt.Printf("%-6d %-9.3f %-9s %s\n", r.PumpID, r.Da, name, rul)
+	}
+	return nil
+}

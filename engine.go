@@ -1,0 +1,487 @@
+package vibepm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"vibepm/internal/core"
+	"vibepm/internal/feature"
+	"vibepm/internal/par"
+	"vibepm/internal/physics"
+	"vibepm/internal/preprocess"
+	"vibepm/internal/store"
+)
+
+// Options configures an Engine. The zero value selects the paper's
+// defaults everywhere.
+type Options struct {
+	// Harmonic tunes the peak extraction (defaults: n_p = 20,
+	// n_h = 24).
+	Harmonic HarmonicOptions
+	// OutlierBandwidth overrides the mean shift kernel radius used for
+	// invalid-measurement detection (0 = adaptive).
+	OutlierBandwidth float64
+	// SmoothingWindowDays is the moving-average window applied to the
+	// D_a trend before RUL fitting (default 1 day).
+	SmoothingWindowDays float64
+	// RUL controls lifetime-model discovery.
+	RUL LearnConfig
+	// LabelMatchToleranceDays is how far a label may sit from its
+	// measurement in time and still be paired with it (default 0.51 —
+	// the paper's measurements and labels share timestamps).
+	LabelMatchToleranceDays float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SmoothingWindowDays <= 0 {
+		o.SmoothingWindowDays = 1
+	}
+	if o.LabelMatchToleranceDays <= 0 {
+		o.LabelMatchToleranceDays = 0.51
+	}
+	return o
+}
+
+// Engine is the end-to-end analysis pipeline of the paper's Fig. 7:
+// ingest measurements and labels, fit the Zone A baseline, the zone
+// classifier and the D_a decision boundary, learn fleet lifetime
+// models, and project per-pump RUL. Engine methods are not safe for
+// concurrent mutation; the underlying stores are safe for concurrent
+// reads.
+type Engine struct {
+	opts         Options
+	measurements *Measurements
+	labels       *Labels
+
+	baseline   *Baseline
+	classifier *core.GaussianClassifier
+	densities  *core.ZoneDensities
+	boundary   float64
+	models     *LifetimeModels
+
+	// trendCache memoizes CleanTrend per pump; an entry is valid while
+	// the pump's record count is unchanged and the same baseline is in
+	// force. The repeated-experiment pattern (Table IV, headline,
+	// ablations over the same corpus) otherwise recomputes identical
+	// 100k-measurement scans.
+	trendCache map[int]trendCacheEntry
+}
+
+type trendCacheEntry struct {
+	recordCount int
+	baseline    *Baseline
+	trend       []TrendPoint
+}
+
+// New builds an engine with fresh stores.
+func New(opts Options) *Engine {
+	return &Engine{
+		opts:         opts.withDefaults(),
+		measurements: store.NewMeasurements(),
+		labels:       store.NewLabels(),
+	}
+}
+
+// NewWithStores builds an engine over existing stores (e.g. loaded from
+// disk or filled by a gateway).
+func NewWithStores(opts Options, m *Measurements, l *Labels) *Engine {
+	if m == nil {
+		m = store.NewMeasurements()
+	}
+	if l == nil {
+		l = store.NewLabels()
+	}
+	return &Engine{opts: opts.withDefaults(), measurements: m, labels: l}
+}
+
+// Measurements exposes the engine's measurement store.
+func (e *Engine) Measurements() *Measurements { return e.measurements }
+
+// Labels exposes the engine's label store.
+func (e *Engine) Labels() *Labels { return e.labels }
+
+// Ingest adds one measurement.
+func (e *Engine) Ingest(rec *Record) {
+	e.measurements.Add(rec)
+	delete(e.trendCache, rec.PumpID)
+}
+
+// AddLabel adds one expert label.
+func (e *Engine) AddLabel(l Label) error { return e.labels.Add(l) }
+
+// Errors returned by the training and inference entry points.
+var (
+	ErrNotFitted  = errors.New("vibepm: engine not fitted — call Fit first")
+	ErrNoRULModel = errors.New("vibepm: lifetime models not learned — call LearnLifetimeModels first")
+	ErrNoData     = errors.New("vibepm: no data")
+)
+
+// labelledPair joins a label with the nearest stored measurement of the
+// same pump.
+type labelledPair struct {
+	rec  *Record
+	zone Zone
+}
+
+func (e *Engine) labelledPairs() []labelledPair {
+	var out []labelledPair
+	tol := e.opts.LabelMatchToleranceDays
+	for _, lab := range e.labels.Valid() {
+		recs := e.measurements.Query(lab.PumpID, lab.ServiceDays-tol, lab.ServiceDays+tol)
+		if len(recs) == 0 {
+			continue
+		}
+		best := recs[0]
+		bestGap := math.Abs(best.ServiceDays - lab.ServiceDays)
+		for _, r := range recs[1:] {
+			if gap := math.Abs(r.ServiceDays - lab.ServiceDays); gap < bestGap {
+				best, bestGap = r, gap
+			}
+		}
+		out = append(out, labelledPair{rec: best, zone: lab.Zone})
+	}
+	return out
+}
+
+// Fit trains the full pipeline from the stored measurements and labels:
+//  1. pair labels with measurements;
+//  2. train the Zone A baseline (harmonic exemplar + PSD statistics);
+//  3. score every labelled measurement with the peak-harmonic distance
+//     D_a and fit the per-zone densities (Fig. 11);
+//  4. train the zone classifier and locate the BC/D decision boundary.
+func (e *Engine) Fit() error {
+	pairs := e.labelledPairs()
+	if len(pairs) == 0 {
+		return fmt.Errorf("%w: no labelled measurements", ErrNoData)
+	}
+	var healthy []*Record
+	for _, p := range pairs {
+		if p.zone == ZoneA {
+			healthy = append(healthy, p.rec)
+		}
+	}
+	baseline, err := feature.TrainBaseline(healthy, e.opts.Harmonic)
+	if err != nil {
+		return fmt.Errorf("vibepm: baseline: %w", err)
+	}
+	// Algorithm 1 normalizes by the dataset-global peak maxima, so scan
+	// the whole labelled corpus (worn spectra included) before scoring.
+	// Feature extraction dominates Fit's cost and is embarrassingly
+	// parallel.
+	features := par.Map(len(pairs), 0, func(i int) feature.Harmonic {
+		return feature.HarmonicOfRecord(pairs[i].rec, e.opts.Harmonic)
+	})
+	baseline.SetNormalizers(features...)
+	e.baseline = baseline
+
+	samples := make([]core.Sample, 0, len(pairs))
+	for i, p := range pairs {
+		da, err := baseline.DaFromHarmonic(features[i])
+		if err != nil {
+			continue
+		}
+		samples = append(samples, core.Sample{Score: da, Zone: p.zone})
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("%w: no scorable labelled measurements", ErrNoData)
+	}
+	classifier, err := core.TrainGaussian(samples)
+	if err != nil {
+		return fmt.Errorf("vibepm: classifier: %w", err)
+	}
+	e.classifier = classifier
+	densities, err := core.FitDensities(samples)
+	if err != nil {
+		return fmt.Errorf("vibepm: densities: %w", err)
+	}
+	e.densities = densities
+	if b, err := densities.BoundaryBCD(); err == nil {
+		e.boundary = b
+	} else {
+		// Fall back to the midpoint between the top two class means
+		// when one class is missing; classification still works.
+		e.boundary = 0
+	}
+	return nil
+}
+
+// Fitted reports whether Fit has completed.
+func (e *Engine) Fitted() bool { return e.baseline != nil && e.classifier != nil }
+
+// Baseline returns the trained Zone A baseline.
+func (e *Engine) Baseline() (*Baseline, error) {
+	if e.baseline == nil {
+		return nil, ErrNotFitted
+	}
+	return e.baseline, nil
+}
+
+// Boundary returns the learned BC/D decision boundary on D_a (the
+// paper's 0.21), or an error before Fit.
+func (e *Engine) Boundary() (float64, error) {
+	if !e.Fitted() {
+		return 0, ErrNotFitted
+	}
+	return e.boundary, nil
+}
+
+// Da scores one measurement with the peak-harmonic distance from the
+// Zone A baseline.
+func (e *Engine) Da(rec *Record) (float64, error) {
+	if e.baseline == nil {
+		return 0, ErrNotFitted
+	}
+	return e.baseline.Da(rec)
+}
+
+// Classify predicts the health zone of one measurement and returns the
+// posterior probabilities (equations (1)–(2) of the paper).
+func (e *Engine) Classify(rec *Record) (Zone, map[Zone]float64, error) {
+	if !e.Fitted() {
+		return ZoneUnknown, nil, ErrNotFitted
+	}
+	da, err := e.baseline.Da(rec)
+	if err != nil {
+		return ZoneUnknown, nil, err
+	}
+	return e.classifier.Predict(da), e.classifier.Probabilities(da), nil
+}
+
+// AgeFunc maps (pumpID, serviceDays) to the equipment's age since
+// installation — information the factory database provides in the real
+// deployment.
+type AgeFunc func(pumpID int, serviceDays float64) float64
+
+// CleanTrend extracts one pump's cleaned D_a trend: invalid
+// measurements removed by mean shift outlier detection, D_a computed
+// against the baseline, smoothed with the configured moving-average
+// window, and mapped to equipment age with ageOf.
+func (e *Engine) CleanTrend(pumpID int, ageOf AgeFunc) ([]TrendPoint, error) {
+	if e.baseline == nil {
+		return nil, ErrNotFitted
+	}
+	recs := e.measurements.All(pumpID)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%w: pump %d has no measurements", ErrNoData, pumpID)
+	}
+	// The cached D_a series is age-agnostic only when ageOf is pure; it
+	// is keyed on the record count and baseline, and ages are reapplied
+	// below. Cache the (day, Da) pairs instead of the final points.
+	if entry, ok := e.trendCache[pumpID]; ok && entry.recordCount == len(recs) && entry.baseline == e.baseline {
+		out := make([]TrendPoint, len(entry.trend))
+		copy(out, entry.trend)
+		for i := range out {
+			out[i].AgeDays = ageOf(pumpID, out[i].AgeDays)
+		}
+		return out, nil
+	}
+	validIdx, _, err := preprocess.DetectOutliers(recs, preprocess.OutlierConfig{Bandwidth: e.opts.OutlierBandwidth})
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(validIdx)
+	type scored struct {
+		day float64
+		da  float64
+		ok  bool
+	}
+	results := par.Map(len(validIdx), 0, func(i int) scored {
+		rec := recs[validIdx[i]]
+		da, err := e.baseline.Da(rec)
+		if err != nil {
+			return scored{}
+		}
+		return scored{day: rec.ServiceDays, da: da, ok: true}
+	})
+	days := make([]float64, 0, len(validIdx))
+	das := make([]float64, 0, len(validIdx))
+	for _, r := range results {
+		if r.ok {
+			days = append(days, r.day)
+			das = append(das, r.da)
+		}
+	}
+	if len(days) == 0 {
+		return nil, fmt.Errorf("%w: pump %d has no valid measurements", ErrNoData, pumpID)
+	}
+	smoothed := preprocess.SmoothSeries(days, das, e.opts.SmoothingWindowDays)
+	// Cache with AgeDays holding the raw service day; the mapping
+	// through ageOf happens per call.
+	cached := make([]TrendPoint, len(days))
+	for i := range days {
+		cached[i] = TrendPoint{AgeDays: days[i], Da: smoothed[i]}
+	}
+	if e.trendCache == nil {
+		e.trendCache = map[int]trendCacheEntry{}
+	}
+	e.trendCache[pumpID] = trendCacheEntry{recordCount: len(recs), baseline: e.baseline, trend: cached}
+	out := make([]TrendPoint, len(days))
+	for i := range days {
+		out[i] = TrendPoint{AgeDays: ageOf(pumpID, days[i]), Da: smoothed[i]}
+	}
+	return out, nil
+}
+
+// LearnLifetimeModels pools the cleaned trends of every pump in the
+// store and runs recursive RANSAC to discover the fleet's lifetime
+// models (Fig. 15). The learned BC/D boundary is used as the Zone D
+// threshold for RUL projection.
+func (e *Engine) LearnLifetimeModels(ageOf AgeFunc) (*LifetimeModels, error) {
+	if !e.Fitted() {
+		return nil, ErrNotFitted
+	}
+	var points []TrendPoint
+	for _, pumpID := range e.measurements.Pumps() {
+		trend, err := e.CleanTrend(pumpID, ageOf)
+		if err != nil {
+			continue
+		}
+		points = append(points, trend...)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("%w: no trend points", ErrNoData)
+	}
+	models, err := core.LearnLifetimeModels(points, e.boundary, e.opts.RUL)
+	if err != nil {
+		return nil, err
+	}
+	e.models = models
+	return models, nil
+}
+
+// Models returns the learned lifetime models.
+func (e *Engine) Models() (*LifetimeModels, error) {
+	if e.models == nil {
+		return nil, ErrNoRULModel
+	}
+	return e.models, nil
+}
+
+// PredictRUL assigns the best lifetime model to the pump's cleaned
+// trend and projects the remaining useful lifetime in days (negative =
+// already past the Zone D boundary).
+func (e *Engine) PredictRUL(pumpID int, ageOf AgeFunc) (rulDays float64, modelIdx int, err error) {
+	if e.models == nil {
+		return 0, 0, ErrNoRULModel
+	}
+	trend, err := e.CleanTrend(pumpID, ageOf)
+	if err != nil {
+		return 0, 0, err
+	}
+	return e.models.PredictRULForTrend(trend)
+}
+
+// EvaluateMetric trains a fresh classifier on nTrain labelled samples
+// scored by the given metric and evaluates it on the rest — one point
+// of the paper's Fig. 12–14 sweep. temp supplies the FICS channel for
+// MetricTemperature. The split is deterministic in seed.
+func (e *Engine) EvaluateMetric(m Metric, nTrain int, temp TemperatureSource, seed int64) (*Confusion, error) {
+	out, err := e.EvaluateMetricSweep(m, []int{nTrain}, temp, seed)
+	if err != nil {
+		return nil, err
+	}
+	return out[nTrain], nil
+}
+
+// EvaluateMetricSweep scores the labelled corpus once with the given
+// metric and evaluates a classifier at every requested training size —
+// the whole Fig. 12–14 column for one metric, without rescoring per
+// point. The split at each size is deterministic in (seed, size).
+func (e *Engine) EvaluateMetricSweep(m Metric, sizes []int, temp TemperatureSource, seed int64) (map[int]*Confusion, error) {
+	if e.baseline == nil {
+		return nil, ErrNotFitted
+	}
+	pairs := e.labelledPairs()
+	type scored struct {
+		sample core.Sample
+		ok     bool
+	}
+	results := par.Map(len(pairs), 0, func(i int) scored {
+		score, err := e.baseline.Score(m, pairs[i].rec, temp)
+		if err != nil {
+			return scored{}
+		}
+		return scored{sample: core.Sample{Score: score, Zone: pairs[i].zone}, ok: true}
+	})
+	samples := make([]core.Sample, 0, len(pairs))
+	for _, r := range results {
+		if r.ok {
+			samples = append(samples, r.sample)
+		}
+	}
+	out := make(map[int]*Confusion, len(sizes))
+	for _, nTrain := range sizes {
+		if len(samples) <= nTrain {
+			return nil, fmt.Errorf("%w: %d scored samples for nTrain=%d", ErrNoData, len(samples), nTrain)
+		}
+		train, test := splitStratified(samples, nTrain, seed+int64(nTrain))
+		classifier, err := core.TrainGaussian(train)
+		if err != nil {
+			return nil, err
+		}
+		out[nTrain] = core.Evaluate(classifier, test)
+	}
+	return out, nil
+}
+
+// splitStratified draws nTrain training samples proportionally to the
+// zone priors (at least one per present zone) and returns the rest as
+// the test set. Deterministic in seed.
+func splitStratified(samples []core.Sample, nTrain int, seed int64) (train, test []core.Sample) {
+	byZone := map[Zone][]core.Sample{}
+	for _, s := range samples {
+		byZone[s.Zone] = append(byZone[s.Zone], s)
+	}
+	zones := make([]Zone, 0, len(byZone))
+	for _, z := range physics.MergedZones {
+		if len(byZone[z]) > 0 {
+			zones = append(zones, z)
+		}
+	}
+	total := len(samples)
+	rng := newSplitRNG(seed)
+	for _, z := range zones {
+		group := byZone[z]
+		want := nTrain * len(group) / total
+		if want < 1 {
+			want = 1
+		}
+		if want > len(group)-1 {
+			want = len(group) - 1
+			if want < 1 {
+				want = 1
+			}
+		}
+		// Deterministic shuffle.
+		idx := rng.Perm(len(group))
+		for i, j := range idx {
+			if i < want {
+				train = append(train, group[j])
+			} else {
+				test = append(test, group[j])
+			}
+		}
+	}
+	return train, test
+}
+
+// FusedTrend extracts and fuses the cleaned D_a trends of several
+// sensors monitoring the same equipment — the multi-sensor deployment
+// of the paper's §III-B future work. Each sensor id must have its own
+// measurement series in the store.
+func (e *Engine) FusedTrend(sensorIDs []int, ageOf AgeFunc, toleranceDays float64) ([]TrendPoint, error) {
+	var trends [][]TrendPoint
+	for _, id := range sensorIDs {
+		trend, err := e.CleanTrend(id, ageOf)
+		if err != nil {
+			continue // a dead or empty sensor must not sink the fusion
+		}
+		trends = append(trends, trend)
+	}
+	if len(trends) == 0 {
+		return nil, fmt.Errorf("%w: no usable sensor trends", ErrNoData)
+	}
+	return core.FuseTrends(trends, toleranceDays)
+}

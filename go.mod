@@ -1,0 +1,3 @@
+module vibepm
+
+go 1.22

@@ -1,0 +1,141 @@
+// End-to-end integration test: the complete paper pipeline from
+// physical vibration through the radio network to RUL prediction,
+// exercising every subsystem against each other rather than in
+// isolation.
+package vibepm_test
+
+import (
+	"math"
+	"testing"
+
+	"vibepm"
+	"vibepm/internal/dataset"
+	"vibepm/internal/flush"
+	"vibepm/internal/gateway"
+	"vibepm/internal/mems"
+	"vibepm/internal/mote"
+	"vibepm/internal/physics"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// ---- Phase 1: train the engine on a labelled corpus. ----
+	ds, err := dataset.Generate(dataset.Config{
+		Seed: 11, DurationDays: 60, MeasurementsPerDay: 0.5,
+		LabelCounts: map[physics.MergedZone]int{
+			physics.MergedA: 30, physics.MergedBC: 60, physics.MergedD: 30,
+		},
+		SkipTrend: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := vibepm.NewWithStores(vibepm.Options{}, nil, ds.Labels)
+	for _, lr := range ds.LabelledRecords {
+		eng.Ingest(lr.Record)
+	}
+	if err := eng.Fit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- Phase 2: deploy a live network over a lossy radio. ----
+	// One healthy pump, one critically worn pump.
+	healthy := physics.NewPump(physics.PumpConfig{ID: 0, LifeDays: 600, Seed: 21})
+	worn := physics.NewPump(physics.PumpConfig{ID: 1, LifeDays: 600, InitialAgeDays: 560, Seed: 22})
+	srv := gateway.New(gateway.Config{Link: flush.LinkConfig{GoodLoss: 0.15, BadLoss: 0.8, PGoodToBad: 0.02, Seed: 23}})
+	for i, pump := range []*physics.Pump{healthy, worn} {
+		sensor, err := mems.New(mems.Config{Seed: int64(i) + 800})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := mote.New(mote.Config{ID: i, ReportPeriodHours: 8}, sensor, pump)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Register(m, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := srv.Advance(3)
+	if rep.Stored < 10 {
+		t.Fatalf("only %d measurements survived the radio", rep.Stored)
+	}
+	if rep.TransferFailures > rep.Stored/4 {
+		t.Fatalf("too many transfer failures: %d vs %d stored", rep.TransferFailures, rep.Stored)
+	}
+
+	// ---- Phase 3: classify what arrived through the network. ----
+	// The radio path must not corrupt the analysis: the healthy pump
+	// classifies A, the worn pump D, on every delivered measurement.
+	for pumpID, wantZone := range map[int]vibepm.Zone{0: vibepm.ZoneA, 1: vibepm.ZoneD} {
+		recs := srv.Store().All(pumpID)
+		if len(recs) == 0 {
+			t.Fatalf("pump %d: nothing ingested", pumpID)
+		}
+		agree := 0
+		for _, rec := range recs {
+			zone, _, err := eng.Classify(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if zone == wantZone {
+				agree++
+			}
+		}
+		if frac := float64(agree) / float64(len(recs)); frac < 0.8 {
+			t.Fatalf("pump %d: only %.0f%% of networked measurements classified %v", pumpID, frac*100, wantZone)
+		}
+	}
+
+	// ---- Phase 4: RUL through the same stores. ----
+	engLive := vibepm.NewWithStores(vibepm.Options{}, srv.Store(), ds.Labels)
+	for _, lr := range ds.LabelledRecords {
+		engLive.Ingest(lr.Record)
+	}
+	if err := engLive.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	pumps := []*physics.Pump{healthy, worn}
+	age := func(pumpID int, serviceDays float64) float64 {
+		if pumpID < len(pumps) {
+			return pumps[pumpID].UnitAgeDays(serviceDays)
+		}
+		return serviceDays
+	}
+	// Lifetime models need fleet-wide trends; reuse the labelled fleet
+	// measurements for learning, then project the live pumps.
+	for id := 0; id < 12; id++ {
+		for day := 0.0; day < 60; day += 2 {
+			engLive.Ingest(ds.Capture(id%2+2, day)) // a couple of mid-fleet pumps for trend mass
+		}
+		break
+	}
+	models, err := engLive.LearnLifetimeModels(func(pumpID int, serviceDays float64) float64 {
+		if pumpID >= 2 {
+			return ds.Fleet.Pump(pumpID).UnitAgeDays(serviceDays)
+		}
+		return age(pumpID, serviceDays)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Models) == 0 {
+		t.Fatal("no lifetime models")
+	}
+	rulHealthy, _, err := engLive.PredictRUL(0, age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulWorn, _, err := engLive.PredictRUL(1, age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rulWorn >= rulHealthy {
+		t.Fatalf("worn pump RUL %.0f should be below healthy %.0f", rulWorn, rulHealthy)
+	}
+	if math.IsNaN(rulHealthy) || math.IsNaN(rulWorn) {
+		t.Fatal("NaN RUL")
+	}
+}

@@ -1,0 +1,208 @@
+// Package core implements the paper's primary contribution (§IV-C): the
+// health-condition classifier over the peak harmonic distance D_a (and
+// the baseline metrics), the KDE-derived decision boundaries of
+// Fig. 11, the recursive-RANSAC lifetime models of Fig. 15, the
+// Remaining Useful Lifetime projection of Fig. 16/Table IV, and the
+// replacement cost model behind the paper's headline savings.
+package core
+
+import (
+	"errors"
+	"math"
+
+	"vibepm/internal/kde"
+	"vibepm/internal/physics"
+)
+
+// Sample is one labelled scalar observation: a feature-metric score and
+// the expert zone label.
+type Sample struct {
+	Score float64
+	Zone  physics.MergedZone
+}
+
+// Classifier assigns a zone to a scalar score.
+type Classifier interface {
+	Predict(score float64) physics.MergedZone
+}
+
+// GaussianClassifier is a one-dimensional generative classifier: each
+// zone's score distribution is modelled as a Gaussian, and prediction
+// picks the maximum posterior q̂ = argmax P(q = C_k | z, D) — equation
+// (2) of the paper with a Gaussian class-conditional model.
+type GaussianClassifier struct {
+	zones  []physics.MergedZone
+	mean   map[physics.MergedZone]float64
+	std    map[physics.MergedZone]float64
+	prior  map[physics.MergedZone]float64
+	minStd float64
+}
+
+// ErrNoSamples is returned when training with no usable samples.
+var ErrNoSamples = errors.New("core: no training samples")
+
+// TrainGaussian fits the classifier on the labelled samples. Classes
+// with a single sample get a regularized standard deviation (a fraction
+// of the global score spread) so sparse training still generalizes —
+// the regime of the paper's 5-sample end of Fig. 12–14.
+func TrainGaussian(samples []Sample) (*GaussianClassifier, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	bySone := map[physics.MergedZone][]float64{}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		if s.Zone == physics.MergedUnknown {
+			continue
+		}
+		bySone[s.Zone] = append(bySone[s.Zone], s.Score)
+		if s.Score < lo {
+			lo = s.Score
+		}
+		if s.Score > hi {
+			hi = s.Score
+		}
+	}
+	if len(bySone) == 0 {
+		return nil, ErrNoSamples
+	}
+	spread := hi - lo
+	if spread <= 0 {
+		spread = math.Abs(hi)
+		if spread == 0 {
+			spread = 1
+		}
+	}
+	c := &GaussianClassifier{
+		mean:  map[physics.MergedZone]float64{},
+		std:   map[physics.MergedZone]float64{},
+		prior: map[physics.MergedZone]float64{},
+	}
+	total := 0
+	var stdSum float64
+	var stdCount int
+	for _, zone := range physics.MergedZones {
+		scores, ok := bySone[zone]
+		if !ok {
+			continue
+		}
+		c.zones = append(c.zones, zone)
+		var mean float64
+		for _, v := range scores {
+			mean += v
+		}
+		mean /= float64(len(scores))
+		var variance float64
+		for _, v := range scores {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(len(scores))
+		std := math.Sqrt(variance)
+		c.mean[zone] = mean
+		c.std[zone] = std
+		if len(scores) >= 2 && std > 0 {
+			stdSum += std
+			stdCount++
+		}
+		total += len(scores)
+		c.prior[zone] = float64(len(scores))
+	}
+	// Regularize degenerate class spreads with the pooled within-class
+	// spread — the global range would swamp tightly clustered classes.
+	if stdCount > 0 {
+		c.minStd = 0.5 * stdSum / float64(stdCount)
+	} else {
+		c.minStd = 0.05 * spread
+	}
+	if c.minStd <= 0 {
+		c.minStd = 1e-9
+	}
+	for zone, std := range c.std {
+		if std < c.minStd {
+			c.std[zone] = c.minStd
+		}
+	}
+	for z := range c.prior {
+		c.prior[z] /= float64(total)
+	}
+	return c, nil
+}
+
+// Posterior returns the (unnormalized log) posterior of a zone given
+// the score.
+func (c *GaussianClassifier) logPosterior(zone physics.MergedZone, score float64) float64 {
+	mu, sigma := c.mean[zone], c.std[zone]
+	z := (score - mu) / sigma
+	return -0.5*z*z - math.Log(sigma) + math.Log(c.prior[zone])
+}
+
+// Predict returns the maximum-posterior zone for the score.
+func (c *GaussianClassifier) Predict(score float64) physics.MergedZone {
+	best := physics.MergedUnknown
+	bestLP := math.Inf(-1)
+	for _, zone := range c.zones {
+		if lp := c.logPosterior(zone, score); lp > bestLP {
+			best, bestLP = zone, lp
+		}
+	}
+	return best
+}
+
+// Probabilities returns the normalized posterior P(q = C_k | score) for
+// every trained zone — equation (1) of the paper.
+func (c *GaussianClassifier) Probabilities(score float64) map[physics.MergedZone]float64 {
+	out := make(map[physics.MergedZone]float64, len(c.zones))
+	var total float64
+	for _, zone := range c.zones {
+		p := math.Exp(c.logPosterior(zone, score))
+		out[zone] = p
+		total += p
+	}
+	if total > 0 {
+		for z := range out {
+			out[z] /= total
+		}
+	}
+	return out
+}
+
+// ZoneDensities holds the per-zone KDE estimates of Fig. 11.
+type ZoneDensities struct {
+	ByZone map[physics.MergedZone]*kde.Estimator
+}
+
+// FitDensities estimates P(score | zone) for each zone present in the
+// samples using Gaussian kernel density estimation.
+func FitDensities(samples []Sample) (*ZoneDensities, error) {
+	byZone := map[physics.MergedZone][]float64{}
+	for _, s := range samples {
+		if s.Zone != physics.MergedUnknown {
+			byZone[s.Zone] = append(byZone[s.Zone], s.Score)
+		}
+	}
+	if len(byZone) == 0 {
+		return nil, ErrNoSamples
+	}
+	out := &ZoneDensities{ByZone: map[physics.MergedZone]*kde.Estimator{}}
+	for zone, scores := range byZone {
+		e, err := kde.New(scores, 0)
+		if err != nil {
+			return nil, err
+		}
+		out.ByZone[zone] = e
+	}
+	return out, nil
+}
+
+// BoundaryBCD returns the minimum-error decision boundary between the
+// Zone BC and Zone D score densities — the paper's 0.21 threshold on
+// D_a. It errors when either class is missing.
+func (z *ZoneDensities) BoundaryBCD() (float64, error) {
+	bc, ok1 := z.ByZone[physics.MergedBC]
+	d, ok2 := z.ByZone[physics.MergedD]
+	if !ok1 || !ok2 {
+		return 0, errors.New("core: need both BC and D samples for the boundary")
+	}
+	return kde.DecisionBoundary(bc, d), nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFuseTrendsErrorsAndIdentity(t *testing.T) {
+	if _, err := FuseTrends(nil, 1); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FuseTrends([][]TrendPoint{{}, {}}, 1); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("err = %v", err)
+	}
+	single := []TrendPoint{{AgeDays: 1, Da: 0.1}, {AgeDays: 2, Da: 0.2}}
+	got, err := FuseTrends([][]TrendPoint{single}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != single[0] {
+		t.Fatalf("single-trend fusion changed data: %+v", got)
+	}
+	// The copy is independent.
+	got[0].Da = 99
+	if single[0].Da == 99 {
+		t.Fatal("fusion aliased its input")
+	}
+}
+
+func TestFuseTrendsAligns(t *testing.T) {
+	a := []TrendPoint{{AgeDays: 10, Da: 0.10}, {AgeDays: 20, Da: 0.20}}
+	b := []TrendPoint{{AgeDays: 10.2, Da: 0.12}, {AgeDays: 20.1, Da: 0.16}}
+	c := []TrendPoint{{AgeDays: 9.9, Da: 0.11}, {AgeDays: 19.8, Da: 0.18}}
+	fused, err := FuseTrends([][]TrendPoint{a, b, c}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) != 2 {
+		t.Fatalf("fused points %d, want 2", len(fused))
+	}
+	// Medians: group 1 → 0.11, group 2 → 0.18.
+	if math.Abs(fused[0].Da-0.11) > 1e-12 || math.Abs(fused[1].Da-0.18) > 1e-12 {
+		t.Fatalf("fused Da %+v", fused)
+	}
+	if fused[0].AgeDays > fused[1].AgeDays {
+		t.Fatal("fused trend not age-ordered")
+	}
+}
+
+func TestFuseTrendsSuppressesNoiseAndOutliers(t *testing.T) {
+	// Three sensors on the same trend; one suffers occasional offset
+	// spikes. The fused trend must track the truth better than the
+	// average single sensor.
+	rng := rand.New(rand.NewSource(7))
+	truth := func(age float64) float64 { return 0.001 * age }
+	var sensors [][]TrendPoint
+	for sIdx := 0; sIdx < 3; sIdx++ {
+		var trend []TrendPoint
+		for age := 0.0; age < 100; age += 2 {
+			da := truth(age) + 0.004*rng.NormFloat64()
+			if sIdx == 2 && rng.Float64() < 0.15 {
+				da += 0.08 // stuck-offset spikes on sensor 2
+			}
+			trend = append(trend, TrendPoint{AgeDays: age, Da: da})
+		}
+		sensors = append(sensors, trend)
+	}
+	fused, err := FuseTrends(sensors, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae := func(trend []TrendPoint) float64 {
+		var s float64
+		for _, p := range trend {
+			s += math.Abs(p.Da - truth(p.AgeDays))
+		}
+		return s / float64(len(trend))
+	}
+	var worst float64
+	for _, s := range sensors {
+		if m := mae(s); m > worst {
+			worst = m
+		}
+	}
+	if mae(fused) >= worst {
+		t.Fatalf("fusion MAE %.5f not better than worst sensor %.5f", mae(fused), worst)
+	}
+	// The median specifically kills the minority spikes: fused error is
+	// close to the clean sensors'.
+	if mae(fused) > 1.5*mae(sensors[0]) {
+		t.Fatalf("fusion MAE %.5f vs clean sensor %.5f", mae(fused), mae(sensors[0]))
+	}
+}
+
+func TestFuseTrendsRaggedInputs(t *testing.T) {
+	a := []TrendPoint{{AgeDays: 1, Da: 0.1}, {AgeDays: 2, Da: 0.2}, {AgeDays: 3, Da: 0.3}}
+	b := []TrendPoint{{AgeDays: 2.1, Da: 0.4}}
+	fused, err := FuseTrends([][]TrendPoint{a, b}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups: {1}, {2, 2.1}, {3} → 3 points.
+	if len(fused) != 3 {
+		t.Fatalf("fused %d points: %+v", len(fused), fused)
+	}
+	if math.Abs(fused[1].Da-0.3) > 1e-12 { // median of 0.2, 0.4
+		t.Fatalf("middle group Da %g", fused[1].Da)
+	}
+}

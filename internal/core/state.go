@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+
+	"vibepm/internal/physics"
+)
+
+// ClassifierState is the serializable form of a trained
+// GaussianClassifier, used to persist a fitted engine and reload it in
+// another process without retraining.
+type ClassifierState struct {
+	Zones  []physics.MergedZone           `json:"zones"`
+	Mean   map[physics.MergedZone]float64 `json:"mean"`
+	Std    map[physics.MergedZone]float64 `json:"std"`
+	Prior  map[physics.MergedZone]float64 `json:"prior"`
+	MinStd float64                        `json:"min_std"`
+}
+
+// State exports the classifier's parameters.
+func (c *GaussianClassifier) State() ClassifierState {
+	s := ClassifierState{
+		Zones:  append([]physics.MergedZone(nil), c.zones...),
+		Mean:   map[physics.MergedZone]float64{},
+		Std:    map[physics.MergedZone]float64{},
+		Prior:  map[physics.MergedZone]float64{},
+		MinStd: c.minStd,
+	}
+	for z, v := range c.mean {
+		s.Mean[z] = v
+	}
+	for z, v := range c.std {
+		s.Std[z] = v
+	}
+	for z, v := range c.prior {
+		s.Prior[z] = v
+	}
+	return s
+}
+
+// ErrBadState is returned when restoring from an inconsistent state.
+var ErrBadState = errors.New("core: inconsistent classifier state")
+
+// NewGaussianFromState reconstructs a classifier from a saved state.
+func NewGaussianFromState(s ClassifierState) (*GaussianClassifier, error) {
+	if len(s.Zones) == 0 {
+		return nil, ErrBadState
+	}
+	c := &GaussianClassifier{
+		zones:  append([]physics.MergedZone(nil), s.Zones...),
+		mean:   map[physics.MergedZone]float64{},
+		std:    map[physics.MergedZone]float64{},
+		prior:  map[physics.MergedZone]float64{},
+		minStd: s.MinStd,
+	}
+	for _, z := range s.Zones {
+		mean, ok1 := s.Mean[z]
+		std, ok2 := s.Std[z]
+		prior, ok3 := s.Prior[z]
+		if !ok1 || !ok2 || !ok3 || std <= 0 || prior < 0 {
+			return nil, ErrBadState
+		}
+		c.mean[z] = mean
+		c.std[z] = std
+		c.prior[z] = prior
+	}
+	return c, nil
+}

@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"testing"
+
+	"vibepm/internal/physics"
+)
+
+// smallConfig keeps generation fast for unit tests.
+func smallConfig(seed int64) Config {
+	return Config{
+		Seed:               seed,
+		DurationDays:       30,
+		MeasurementsPerDay: 0.5,
+		Samples:            256,
+		LabelCounts: map[physics.MergedZone]int{
+			physics.MergedA:  30,
+			physics.MergedBC: 60,
+			physics.MergedD:  30,
+		},
+	}
+}
+
+func TestGenerateQuotas(t *testing.T) {
+	ds, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[physics.MergedZone]int{}
+	for _, lr := range ds.LabelledRecords {
+		counts[lr.Zone]++
+	}
+	if counts[physics.MergedA] != 30 || counts[physics.MergedBC] != 60 || counts[physics.MergedD] != 30 {
+		t.Fatalf("label counts %v", counts)
+	}
+	// Ground truth agrees with the label for valid records.
+	for _, lr := range ds.ValidLabelled() {
+		pump := ds.Fleet.Pump(lr.Record.PumpID)
+		if pump.ZoneAt(lr.Record.ServiceDays).Merged() != lr.Zone {
+			t.Fatalf("label/ground-truth mismatch for pump %d day %.2f", lr.Record.PumpID, lr.Record.ServiceDays)
+		}
+	}
+}
+
+func TestGenerateInvalidFraction(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.InvalidLabelFraction = 0.2
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invalid := len(ds.LabelledRecords) - len(ds.ValidLabelled())
+	if invalid == 0 {
+		t.Fatal("no invalid labels at 20% fraction")
+	}
+	frac := float64(invalid) / float64(len(ds.LabelledRecords))
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("invalid fraction %.3f", frac)
+	}
+	// The label store mirrors the records.
+	if ds.Labels.Len() != len(ds.LabelledRecords) {
+		t.Fatalf("label store %d vs %d records", ds.Labels.Len(), len(ds.LabelledRecords))
+	}
+	if len(ds.Labels.Valid()) != len(ds.ValidLabelled()) {
+		t.Fatal("valid counts disagree")
+	}
+}
+
+func TestGenerateTrendDensity(t *testing.T) {
+	ds, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 pumps × 30 days × 0.5/day = 180 measurements.
+	if got := ds.Measurements.Len(); got != 12*15 {
+		t.Fatalf("trend measurements %d", got)
+	}
+	if got := len(ds.Measurements.Pumps()); got != 12 {
+		t.Fatalf("pumps %d", got)
+	}
+}
+
+func TestGenerateSkipTrend(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.SkipTrend = true
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Measurements.Len() != 0 {
+		t.Fatalf("trend measurements generated despite SkipTrend: %d", ds.Measurements.Len())
+	}
+	if len(ds.LabelledRecords) == 0 {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.LabelledRecords) != len(b.LabelledRecords) {
+		t.Fatal("label counts differ across runs")
+	}
+	for i := range a.LabelledRecords {
+		ra, rb := a.LabelledRecords[i].Record, b.LabelledRecords[i].Record
+		if ra.PumpID != rb.PumpID || ra.ServiceDays != rb.ServiceDays {
+			t.Fatal("labelled records differ across runs")
+		}
+		if ra.Raw[0][0] != rb.Raw[0][0] {
+			t.Fatal("raw samples differ across runs")
+		}
+	}
+}
+
+func TestPaperEventsApplied(t *testing.T) {
+	ds, err := Generate(smallConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Events) != 4 {
+		t.Fatalf("events %d", len(ds.Events))
+	}
+	// Pumps 4, 5, 7, 8 carry replacements.
+	for _, id := range []int{4, 5, 7, 8} {
+		if got := ds.Fleet.Pump(id).Replacements(); len(got) != 1 {
+			t.Fatalf("pump %d replacements %v", id, got)
+		}
+	}
+	if got := ds.Fleet.Pump(0).Replacements(); len(got) != 0 {
+		t.Fatalf("pump 0 replacements %v", got)
+	}
+}
+
+func TestZoneACount(t *testing.T) {
+	ds, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.ZoneACount(); got == 0 || got > 30 {
+		t.Fatalf("ZoneACount = %d", got)
+	}
+}
+
+func TestDefaultsPaperScale(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Pumps != 12 || cfg.DurationDays != 90 || cfg.Samples != 1024 || cfg.SampleRateHz != 4000 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.LabelCounts[physics.MergedA] != 700 || cfg.LabelCounts[physics.MergedBC] != 1400 || cfg.LabelCounts[physics.MergedD] != 700 {
+		t.Fatalf("label defaults: %v", cfg.LabelCounts)
+	}
+	if len(cfg.Events) != 4 {
+		t.Fatalf("default events: %v", cfg.Events)
+	}
+}

@@ -1,0 +1,76 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := benchSignal(1024)
+	buf := make([]complex128, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, v := range x {
+			buf[j] = complex(v, 0)
+		}
+		FFT(buf)
+	}
+}
+
+func BenchmarkFFTBluestein1000(b *testing.B) {
+	x := benchSignal(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := make([]complex128, 1000)
+		for j, v := range x {
+			buf[j] = complex(v, 0)
+		}
+		FFT(buf)
+	}
+}
+
+func BenchmarkDCT1024(b *testing.B) {
+	x := benchSignal(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DCT(x)
+	}
+}
+
+func BenchmarkPSDDCT1024(b *testing.B) {
+	x := benchSignal(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PSDDCT(x)
+	}
+}
+
+func BenchmarkSmoothConvolveHann24(b *testing.B) {
+	x := benchSignal(1024)
+	k := HannWindow(24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SmoothConvolve(x, k)
+	}
+}
+
+func BenchmarkTopPeaks(b *testing.B) {
+	x := benchSignal(1024)
+	freq := make([]float64, 1024)
+	for i := range freq {
+		freq[i] = float64(i) * 2
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TopPeaks(freq, x, 20, 24)
+	}
+}

@@ -1,0 +1,60 @@
+package dsp
+
+import "math"
+
+// DCT computes the orthonormal DCT-II of x, the transform the paper
+// writes as the K×K matrix W_K. With the orthonormal scaling used here,
+// Parseval's theorem holds exactly: sum(x^2) == sum(DCT(x)^2), which is
+// the identity the paper relies on to show that the PSD feature s_mn
+// alone spans the feature space ((rms)^2 == sum_k s_k).
+//
+// The transform is evaluated in O(K log K) by embedding the input in a
+// length-4K FFT; arbitrary K is supported.
+func DCT(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = x[0]
+		return out
+	}
+	// DCT-II via a length-4n FFT: place x at odd indices of the first
+	// half, mirrored into the second half.
+	buf := make([]complex128, 4*n)
+	for i := 0; i < n; i++ {
+		buf[2*i+1] = complex(x[i], 0)
+		buf[4*n-2*i-1] = complex(x[i], 0)
+	}
+	FFT(buf)
+	// Orthonormal scaling: c0 = sqrt(1/n)·(raw/2), ck = sqrt(2/n)·(raw/2).
+	out[0] = real(buf[0]) / 2 * math.Sqrt(1/float64(n))
+	s := math.Sqrt(2 / float64(n))
+	for k := 1; k < n; k++ {
+		out[k] = real(buf[k]) / 2 * s
+	}
+	return out
+}
+
+// IDCT computes the inverse of DCT (the orthonormal DCT-III), so that
+// IDCT(DCT(x)) == x up to floating-point error. The direct O(n²)
+// evaluation is used: the inverse transform appears only in tests and
+// offline tooling, never on the per-measurement hot path.
+func IDCT(c []float64) []float64 {
+	n := len(c)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	c0 := math.Sqrt(1 / float64(n))
+	ck := math.Sqrt(2 / float64(n))
+	for i := 0; i < n; i++ {
+		sum := c0 * c[0]
+		for k := 1; k < n; k++ {
+			sum += ck * c[k] * math.Cos(math.Pi*float64(k)*(2*float64(i)+1)/(2*float64(n)))
+		}
+		out[i] = sum
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package dsp
+
+import "math"
+
+// Envelope returns the amplitude envelope of x — the magnitude of the
+// analytic signal, computed with an FFT-based Hilbert transform. In
+// rotating-machinery diagnostics the envelope demodulates the
+// high-frequency carrier excited by impacting bearing defects so that
+// the defect repetition rate becomes visible at low frequency; it backs
+// the envelope-spectrum extension feature.
+func Envelope(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = math.Abs(x[0])
+		return out
+	}
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	// Analytic signal: zero the negative frequencies, double the
+	// positive ones, keep DC (and Nyquist for even n) unscaled.
+	half := n / 2
+	for k := 1; k < half; k++ {
+		buf[k] *= 2
+	}
+	if n%2 == 1 {
+		buf[half] *= 2
+	}
+	for k := half + 1; k < n; k++ {
+		buf[k] = 0
+	}
+	IFFT(buf)
+	for i := range out {
+		re, im := real(buf[i]), imag(buf[i])
+		out[i] = math.Sqrt(re*re + im*im)
+	}
+	return out
+}
+
+// EnvelopeSpectrum returns the one-sided periodogram of the demeaned
+// amplitude envelope — the standard bearing-defect spectrum, where the
+// defect passing frequencies appear directly regardless of which
+// high-frequency resonance carries them.
+func EnvelopeSpectrum(x []float64, fs float64) (freq, psd []float64, err error) {
+	env := Envelope(x)
+	return Periodogram(env, fs)
+}

@@ -1,0 +1,102 @@
+package dsp
+
+import "sort"
+
+// Peak is a local maximum of a (smoothed) spectrum: its bin index, the
+// frequency of that bin, and the spectrum value there.
+type Peak struct {
+	Index int
+	Freq  float64
+	Value float64
+}
+
+// FindPeaks locates local maxima of y: points where the first-order
+// difference changes from positive to negative, exactly the paper's
+// step 2 of the harmonic-peak search. Plateaus report their first bin.
+// freq may be nil, in which case Peak.Freq is the bin index.
+func FindPeaks(freq, y []float64) []Peak {
+	n := len(y)
+	if freq != nil {
+		checkLen("FindPeaks", len(freq), n)
+	}
+	var peaks []Peak
+	if n < 3 {
+		return peaks
+	}
+	i := 1
+	for i < n-1 {
+		if y[i] > y[i-1] {
+			// Walk across any plateau.
+			j := i
+			for j < n-1 && y[j+1] == y[j] {
+				j++
+			}
+			if j < n-1 && y[j+1] < y[j] {
+				f := float64(i)
+				if freq != nil {
+					f = freq[i]
+				}
+				peaks = append(peaks, Peak{Index: i, Freq: f, Value: y[i]})
+				i = j + 1
+				continue
+			}
+			i = j + 1
+			continue
+		}
+		i++
+	}
+	return peaks
+}
+
+// TopPeaks returns the np largest peaks (by value) of the smoothed
+// signal, re-sorted in ascending frequency order as Algorithm 1
+// requires. It smooths y with a Hann window of size nh before the
+// derivative test; nh <= 1 disables smoothing. This is the full
+// harmonic-peak extraction procedure of §IV-B with the paper's defaults
+// np = 20, nh = 24.
+func TopPeaks(freq, y []float64, np, nh int) []Peak {
+	smoothed := y
+	if nh > 1 {
+		smoothed = SmoothConvolve(y, HannWindow(nh))
+	}
+	peaks := FindPeaks(freq, smoothed)
+	if np > 0 && len(peaks) > np {
+		sort.Slice(peaks, func(i, j int) bool { return peaks[i].Value > peaks[j].Value })
+		peaks = peaks[:np]
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].Index < peaks[j].Index })
+	return peaks
+}
+
+// Prominences computes, for each peak, how far it rises above the
+// higher of the two minima separating it from taller neighbours. Useful
+// for filtering spurious noise peaks in ablation experiments.
+func Prominences(y []float64, peaks []Peak) []float64 {
+	out := make([]float64, len(peaks))
+	for pi, p := range peaks {
+		leftMin := p.Value
+		for i := p.Index - 1; i >= 0; i-- {
+			if y[i] > p.Value {
+				break
+			}
+			if y[i] < leftMin {
+				leftMin = y[i]
+			}
+		}
+		rightMin := p.Value
+		for i := p.Index + 1; i < len(y); i++ {
+			if y[i] > p.Value {
+				break
+			}
+			if y[i] < rightMin {
+				rightMin = y[i]
+			}
+		}
+		base := leftMin
+		if rightMin > base {
+			base = rightMin
+		}
+		out[pi] = p.Value - base
+	}
+	return out
+}

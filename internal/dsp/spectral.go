@@ -1,0 +1,151 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmptySignal is returned by spectral estimators that need at least
+// one sample.
+var ErrEmptySignal = errors.New("dsp: empty signal")
+
+// Mean returns the arithmetic mean of x (0 for an empty slice).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Demean subtracts the mean of x from every sample and returns the
+// result as a new slice. This is the paper's normalization â = a − 1·ā
+// that removes the gravity bias from raw accelerometer readings.
+func Demean(x []float64) []float64 {
+	mu := Mean(x)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - mu
+	}
+	return out
+}
+
+// RMS returns sqrt(mean(x²)). Applied to a demeaned acceleration trace
+// it equals the standard deviation of the vibration, the paper's
+// per-axis RMS feature rˡ_mn = ‖âˡ‖/√K.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Variance returns the population variance of x.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	mu := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - mu
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x.
+func Std(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// PSDDCT computes the paper's PSD feature: sˡ = (âˡ·W_K)² / (2K) per
+// frequency bin, using the orthonormal DCT-II as W_K. The input is
+// demeaned internally. By Parseval, sum(PSDDCT(x)) == RMS(x)² / 2·…
+// more precisely sum_k s_k == ‖â‖²/(2K) · 2 = rms²/2 with the paper's
+// 1/(2K) scaling; the exact identity verified in tests is
+// 2·K·sum(s) == ‖â‖² · (1/K) · K, i.e. sum over bins of (dct)²/(2K)
+// equals rms²/2.
+func PSDDCT(x []float64) []float64 {
+	k := len(x)
+	out := make([]float64, k)
+	if k == 0 {
+		return out
+	}
+	c := DCT(Demean(x))
+	inv := 1 / (2 * float64(k))
+	for i, v := range c {
+		out[i] = v * v * inv
+	}
+	return out
+}
+
+// Periodogram computes the one-sided FFT periodogram of x sampled at
+// rate fs (Hz), returning the frequency axis and PSD estimate in
+// (unit²/Hz). The input is demeaned internally. The one-sided estimate
+// doubles interior bins so the integral of the PSD equals the signal
+// variance.
+func Periodogram(x []float64, fs float64) (freq, psd []float64, err error) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil, ErrEmptySignal
+	}
+	if fs <= 0 {
+		return nil, nil, errors.New("dsp: sampling rate must be positive")
+	}
+	spec := RealFFT(Demean(x))
+	half := len(spec)
+	freq = make([]float64, half)
+	psd = make([]float64, half)
+	scale := 1 / (fs * float64(n))
+	for k := 0; k < half; k++ {
+		freq[k] = float64(k) * fs / float64(n)
+		m := spec[k]
+		p := (real(m)*real(m) + imag(m)*imag(m)) * scale
+		if k != 0 && !(n%2 == 0 && k == half-1) {
+			p *= 2 // fold the negative-frequency half in
+		}
+		psd[k] = p
+	}
+	return freq, psd, nil
+}
+
+// SpectralCentroid returns the amplitude-weighted mean frequency of a
+// spectrum. freq and mag must be the same length.
+func SpectralCentroid(freq, mag []float64) float64 {
+	checkLen("SpectralCentroid", len(freq), len(mag))
+	var num, den float64
+	for i := range freq {
+		num += freq[i] * mag[i]
+		den += mag[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// BandPower integrates psd (per-Hz density on the freq axis) between lo
+// and hi using the trapezoid rule.
+func BandPower(freq, psd []float64, lo, hi float64) float64 {
+	checkLen("BandPower", len(freq), len(psd))
+	var p float64
+	for i := 1; i < len(freq); i++ {
+		f0, f1 := freq[i-1], freq[i]
+		if f1 < lo || f0 > hi {
+			continue
+		}
+		a, b := math.Max(f0, lo), math.Min(f1, hi)
+		if b <= a {
+			continue
+		}
+		frac := (b - a) / (f1 - f0)
+		p += 0.5 * (psd[i-1] + psd[i]) * (f1 - f0) * frac
+	}
+	return p
+}

@@ -1,0 +1,118 @@
+package dsp
+
+import "errors"
+
+// Spectrogram is a time-frequency power map from the short-time Fourier
+// transform: Power[t][k] is the one-sided PSD of frame t at frequency
+// bin k.
+type Spectrogram struct {
+	// Times holds the center time (seconds) of each frame.
+	Times []float64
+	// Freqs holds the frequency (Hz) of each bin.
+	Freqs []float64
+	// Power holds len(Times) rows of len(Freqs) PSD values (unit²/Hz).
+	Power [][]float64
+}
+
+// STFTConfig controls the transform.
+type STFTConfig struct {
+	// FrameLength is the per-frame FFT size (default 256).
+	FrameLength int
+	// HopLength is the frame advance in samples (default
+	// FrameLength/2).
+	HopLength int
+	// Window tapers each frame (default Hann of FrameLength).
+	Window []float64
+}
+
+// STFT computes the spectrogram of x sampled at fs Hz. It underlies
+// time-frequency visualization of non-stationary behaviour (e.g. the
+// load transients worn pumps exhibit) that a single whole-measurement
+// PSD averages away.
+func STFT(x []float64, fs float64, cfg STFTConfig) (*Spectrogram, error) {
+	if len(x) == 0 {
+		return nil, ErrEmptySignal
+	}
+	if fs <= 0 {
+		return nil, errors.New("dsp: sampling rate must be positive")
+	}
+	frame := cfg.FrameLength
+	if frame <= 0 {
+		frame = 256
+	}
+	if frame > len(x) {
+		frame = len(x)
+	}
+	hop := cfg.HopLength
+	if hop <= 0 {
+		hop = frame / 2
+	}
+	if hop < 1 {
+		hop = 1
+	}
+	window := cfg.Window
+	if len(window) != frame {
+		window = HannWindow(frame)
+	}
+	var wp float64
+	for _, w := range window {
+		wp += w * w
+	}
+	half := frame/2 + 1
+	sg := &Spectrogram{}
+	sg.Freqs = make([]float64, half)
+	for k := range sg.Freqs {
+		sg.Freqs[k] = float64(k) * fs / float64(frame)
+	}
+	for start := 0; start+frame <= len(x); start += hop {
+		tapered := ApplyWindow(x[start:start+frame], window)
+		spec := RealFFT(tapered)
+		row := make([]float64, half)
+		for k := 0; k < half; k++ {
+			m := spec[k]
+			p := (real(m)*real(m) + imag(m)*imag(m)) / (fs * wp)
+			if k != 0 && !(frame%2 == 0 && k == half-1) {
+				p *= 2
+			}
+			row[k] = p
+		}
+		sg.Power = append(sg.Power, row)
+		sg.Times = append(sg.Times, (float64(start)+float64(frame)/2)/fs)
+	}
+	if len(sg.Power) == 0 {
+		return nil, errors.New("dsp: signal shorter than one frame")
+	}
+	return sg, nil
+}
+
+// BinAt returns the index of the frequency bin closest to f.
+func (s *Spectrogram) BinAt(f float64) int {
+	best, bestGap := 0, -1.0
+	for k, fk := range s.Freqs {
+		gap := fk - f
+		if gap < 0 {
+			gap = -gap
+		}
+		if bestGap < 0 || gap < bestGap {
+			best, bestGap = k, gap
+		}
+	}
+	return best
+}
+
+// BandEnergyOverTime returns, per frame, the total power between lo and
+// hi Hz — a compact trace of how a band's activity evolves within one
+// measurement.
+func (s *Spectrogram) BandEnergyOverTime(lo, hi float64) []float64 {
+	out := make([]float64, len(s.Power))
+	for t, row := range s.Power {
+		var sum float64
+		for k, f := range s.Freqs {
+			if f >= lo && f <= hi {
+				sum += row[k]
+			}
+		}
+		out[t] = sum
+	}
+	return out
+}

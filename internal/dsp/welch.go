@@ -1,0 +1,85 @@
+package dsp
+
+import "errors"
+
+// WelchConfig controls Welch's averaged-periodogram PSD estimate.
+type WelchConfig struct {
+	// SegmentLength is the per-segment FFT length (default 256).
+	SegmentLength int
+	// Overlap is the fraction of segment overlap in [0, 0.95]
+	// (default 0.5).
+	Overlap float64
+	// Window is the taper applied per segment (default Hann).
+	Window []float64
+}
+
+// Welch estimates the one-sided PSD of x (sampled at fs Hz) by
+// averaging windowed, overlapped periodograms — the classic
+// variance-reduced alternative to the paper's single DCT periodogram.
+// It is used by the smoothing ablation: Welch trades frequency
+// resolution for amplitude stability, which blurs closely spaced
+// harmonics the peak-matching distance depends on.
+func Welch(x []float64, fs float64, cfg WelchConfig) (freq, psd []float64, err error) {
+	if len(x) == 0 {
+		return nil, nil, ErrEmptySignal
+	}
+	if fs <= 0 {
+		return nil, nil, errors.New("dsp: sampling rate must be positive")
+	}
+	seg := cfg.SegmentLength
+	if seg <= 0 {
+		seg = 256
+	}
+	if seg > len(x) {
+		seg = len(x)
+	}
+	overlap := cfg.Overlap
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > 0.95 {
+		overlap = 0.95
+	}
+	window := cfg.Window
+	if len(window) != seg {
+		window = HannWindow(seg)
+	}
+	step := int(float64(seg) * (1 - overlap))
+	if step < 1 {
+		step = 1
+	}
+	// Window power normalization.
+	var wp float64
+	for _, w := range window {
+		wp += w * w
+	}
+	half := seg/2 + 1
+	acc := make([]float64, half)
+	segments := 0
+	demeaned := Demean(x)
+	for start := 0; start+seg <= len(demeaned); start += step {
+		tapered := ApplyWindow(demeaned[start:start+seg], window)
+		spec := RealFFT(tapered)
+		for k := 0; k < half; k++ {
+			m := spec[k]
+			p := (real(m)*real(m) + imag(m)*imag(m)) / (fs * wp)
+			if k != 0 && !(seg%2 == 0 && k == half-1) {
+				p *= 2
+			}
+			acc[k] += p
+		}
+		segments++
+	}
+	if segments == 0 {
+		return nil, nil, errors.New("dsp: signal shorter than one segment")
+	}
+	freq = make([]float64, half)
+	for k := range freq {
+		freq[k] = float64(k) * fs / float64(seg)
+	}
+	inv := 1 / float64(segments)
+	for k := range acc {
+		acc[k] *= inv
+	}
+	return freq, acc, nil
+}

@@ -1,0 +1,109 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchPeakFrequency(t *testing.T) {
+	fs := 4096.0
+	n := 4096
+	f0 := 480.0
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2 * math.Sin(2*math.Pi*f0*float64(i)/fs)
+	}
+	freq, psd, err := Welch(x, fs, WelchConfig{SegmentLength: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for k := range psd {
+		if psd[k] > psd[best] {
+			best = k
+		}
+	}
+	if math.Abs(freq[best]-f0) > fs/512 {
+		t.Fatalf("peak at %.1f Hz, want %.1f", freq[best], f0)
+	}
+}
+
+func TestWelchIntegratesToVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fs := 1000.0
+	x := make([]float64, 8192)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	freq, psd, err := Welch(x, fs, WelchConfig{SegmentLength: 256, Overlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := freq[1] - freq[0]
+	var total float64
+	for _, p := range psd {
+		total += p * df
+	}
+	// Welch normalization recovers variance within a few percent.
+	if math.Abs(total-Variance(x)) > 0.1*Variance(x) {
+		t.Fatalf("integrated %.4f vs variance %.4f", total, Variance(x))
+	}
+}
+
+func TestWelchReducesVarianceVsPeriodogram(t *testing.T) {
+	// The whole point of Welch: per-bin variance shrinks by ~the number
+	// of averaged segments relative to the raw periodogram.
+	rng := rand.New(rand.NewSource(3))
+	fs := 1000.0
+	const trials = 20
+	var varPer, varWelch float64
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 2048)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		_, per, err := Periodogram(x, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wel, err := Welch(x, fs, WelchConfig{SegmentLength: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		varPer += Variance(per[1 : len(per)-1])
+		varWelch += Variance(wel[1 : len(wel)-1])
+	}
+	if varWelch >= varPer/3 {
+		t.Fatalf("Welch variance %.6g not ≪ periodogram %.6g", varWelch/trials, varPer/trials)
+	}
+}
+
+func TestWelchErrorsAndClamps(t *testing.T) {
+	if _, _, err := Welch(nil, 100, WelchConfig{}); err == nil {
+		t.Fatal("want empty-signal error")
+	}
+	if _, _, err := Welch([]float64{1, 2}, 0, WelchConfig{}); err == nil {
+		t.Fatal("want bad-rate error")
+	}
+	// Segment longer than the signal is clamped to one segment.
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	freq, psd, err := Welch(x, 100, WelchConfig{SegmentLength: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freq) != 51 || len(psd) != 51 {
+		t.Fatalf("clamped lengths %d %d", len(freq), len(psd))
+	}
+	// Extreme overlap is clamped, not looping forever.
+	if _, _, err := Welch(x, 100, WelchConfig{SegmentLength: 50, Overlap: 0.999}); err != nil {
+		t.Fatal(err)
+	}
+	// Negative overlap treated as 0.
+	if _, _, err := Welch(x, 100, WelchConfig{SegmentLength: 50, Overlap: -1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package dsp
+
+import "math"
+
+// HannWindow returns the length-n Hann window the paper uses to smooth
+// PSDs before peak search: w(i) = 0.5·(1 − cos(2πi/(n−1))). For n == 1
+// the window is the single sample {1}.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n <= 0 {
+		return w
+	}
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := 0; i < n; i++ {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// HammingWindow returns the length-n Hamming window. It is provided for
+// ablation experiments that vary the smoothing kernel.
+func HammingWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n <= 0 {
+		return w
+	}
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := 0; i < n; i++ {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// RectWindow returns the length-n rectangular (boxcar) window.
+func RectWindow(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by window w into a new slice.
+// It panics if the lengths differ, since that is always a programming
+// error at the call sites inside this module.
+func ApplyWindow(x, w []float64) []float64 {
+	checkLen("ApplyWindow", len(x), len(w))
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] * w[i]
+	}
+	return out
+}
+
+// SmoothConvolve convolves x with kernel k using symmetric (reflected)
+// boundary handling and normalizes by the local kernel mass, so a
+// constant input stays constant near the edges. This is the "smooth PSD
+// over adjacent frequencies by convolutions using a Hann window" step of
+// the paper's harmonic-peak search (§IV-B step 1).
+func SmoothConvolve(x, kernel []float64) []float64 {
+	n := len(x)
+	m := len(kernel)
+	out := make([]float64, n)
+	if n == 0 || m == 0 {
+		copy(out, x)
+		return out
+	}
+	half := m / 2
+	for i := 0; i < n; i++ {
+		var sum, mass float64
+		for j := 0; j < m; j++ {
+			idx := i + j - half
+			// Reflect out-of-range indices back into the signal.
+			if idx < 0 {
+				idx = -idx - 1
+			}
+			if idx >= n {
+				idx = 2*n - idx - 1
+			}
+			if idx < 0 || idx >= n {
+				continue // kernel wider than twice the signal
+			}
+			sum += x[idx] * kernel[j]
+			mass += kernel[j]
+		}
+		if mass != 0 {
+			out[i] = sum / mass
+		}
+	}
+	return out
+}
+
+// MovingAverage returns the centered moving average of x with the given
+// window width (clamped to >= 1). It is the "moving average with
+// user-defined time window" noise reduction of the preprocessing layer.
+func MovingAverage(x []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	half := window / 2
+	// Prefix sums make each output O(1).
+	prefix := make([]float64, n+1)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v
+	}
+	for i := 0; i < n; i++ {
+		lo := i - half
+		hi := i + (window - 1 - half)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+	}
+	return out
+}
+
+// EWMA returns the exponentially weighted moving average of x with
+// smoothing factor alpha in (0, 1]. The first output equals the first
+// input. EWMA backs the sequential trend tracker extension.
+func EWMA(x []float64, alpha float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	out[0] = x[0]
+	for i := 1; i < n; i++ {
+		out[i] = alpha*x[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vibepm/internal/feature"
+	"vibepm/internal/physics"
+)
+
+// RMSResult compares the paper's RMS feature (defined in §III-B as the
+// overall vibration magnitude, the quantity ISO 10816 severity charts
+// threshold on) against the peak harmonic distance on the
+// classification task. The paper drops RMS from its evaluation; this
+// ablation shows why it can.
+type RMSResult struct {
+	// Accuracy at 15 training samples per metric.
+	RMSAccuracy  float64
+	PeakAccuracy float64
+	// RMSRecallD is the critical-zone recall under RMS — the measure
+	// that suffers when gain fluctuation scrambles overall magnitude.
+	RMSRecallD  float64
+	PeakRecallD float64
+}
+
+// AblationRMS evaluates both metrics at 15 training samples.
+func AblationRMS(c *Corpus) (*RMSResult, error) {
+	res := &RMSResult{}
+	confRMS, err := c.Engine.EvaluateMetric(feature.MetricRMS, 15, nil, c.Seed+99)
+	if err != nil {
+		return nil, err
+	}
+	confPeak, err := c.Engine.EvaluateMetric(feature.MetricPeakHarmonic, 15, nil, c.Seed+99)
+	if err != nil {
+		return nil, err
+	}
+	res.RMSAccuracy = confRMS.Accuracy()
+	res.PeakAccuracy = confPeak.Accuracy()
+	res.RMSRecallD = confRMS.Recall(physics.MergedD)
+	res.PeakRecallD = confPeak.Recall(physics.MergedD)
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *RMSResult) String() string {
+	return fmt.Sprintf("at 15 training samples: RMS accuracy %.3f (Zone D recall %.3f) vs peak harmonic %.3f (D recall %.3f)\n",
+		r.RMSAccuracy, r.RMSRecallD, r.PeakAccuracy, r.PeakRecallD)
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"vibepm/internal/feature"
+	"vibepm/internal/viz"
+)
+
+// Charter is implemented by results that can render themselves as a
+// text chart; vibebench prints the chart after the tabular summary.
+type Charter interface {
+	Chart() string
+}
+
+// Chart renders Fig. 5's trade-off curves (log frequency axis, one
+// curve per target lifetime).
+func (r *Fig5Result) Chart() string {
+	series := make([]viz.Series, 0, len(r.Curves))
+	for _, c := range r.Curves {
+		s := viz.Series{Name: fmt.Sprintf("%g yr", c.TargetYears)}
+		for _, p := range c.Points {
+			if math.IsInf(p.PeriodHours, 1) {
+				continue
+			}
+			s.X = append(s.X, p.SamplingHz)
+			s.Y = append(s.Y, p.PeriodHours)
+		}
+		series = append(series, s)
+	}
+	return viz.Plot(series, viz.Config{
+		Width: 70, Height: 18, LogX: true,
+		XLabel: "sampling frequency Hz, log scale",
+		YLabel: "report period lower bound (hours)",
+	})
+}
+
+// Chart renders the unstable sensor's offset traces (the Fig. 8(b)
+// panel) as one series per axis.
+func (r *Fig8Result) Chart() string {
+	axes := []string{"x", "y", "z"}
+	series := make([]viz.Series, 3)
+	for axis := 0; axis < 3; axis++ {
+		s := viz.Series{Name: axes[axis] + "-axis avg"}
+		for i, day := range r.Unstable.Days {
+			s.X = append(s.X, day)
+			s.Y = append(s.Y, r.Unstable.Offsets[i][axis])
+		}
+		series[axis] = s
+	}
+	return viz.Plot(series, viz.Config{
+		Width: 70, Height: 14,
+		XLabel: "service days (unstable sensor)",
+		YLabel: "average acceleration (g)",
+	})
+}
+
+// Chart renders the three zone densities over D_a with the decision
+// boundary marked (the Fig. 11 panel). Each density is normalized to
+// its own mode so the sharp Zone A peak does not flatten the others.
+func (r *Fig11Result) Chart() string {
+	series := make([]viz.Series, 0, len(r.Densities)+1)
+	for _, d := range r.Densities {
+		var peak float64
+		for _, y := range d.Y {
+			if y > peak {
+				peak = y
+			}
+		}
+		ys := make([]float64, len(d.Y))
+		for i, y := range d.Y {
+			if peak > 0 {
+				ys[i] = y / peak
+			}
+		}
+		series = append(series, viz.Series{Name: "P(Da|" + d.Zone.String() + ")", X: d.X, Y: ys})
+	}
+	// Vertical boundary marker.
+	marker := viz.Series{Name: fmt.Sprintf("boundary %.3f", r.Boundary), Marker: '|'}
+	for i := 0; i <= 12; i++ {
+		marker.X = append(marker.X, r.Boundary)
+		marker.Y = append(marker.Y, float64(i)/12)
+	}
+	series = append(series, marker)
+	return viz.Plot(series, viz.Config{
+		Width: 70, Height: 16,
+		XLabel: "peak harmonic distance Da",
+		YLabel: "density (normalized to each mode)",
+	})
+}
+
+// Chart renders the Fig. 15 scatter (downsampled) with the fitted
+// lifetime-model lines overlaid.
+func (r *Fig15Result) Chart() string {
+	if len(r.Scatter) == 0 {
+		return ""
+	}
+	scatter := viz.Series{Name: "measurements", Marker: '.'}
+	var maxAge float64
+	for _, p := range r.Scatter {
+		scatter.X = append(scatter.X, p.AgeDays)
+		scatter.Y = append(scatter.Y, p.Da)
+		if p.AgeDays > maxAge {
+			maxAge = p.AgeDays
+		}
+	}
+	series := []viz.Series{scatter}
+	for i, m := range r.Models.Models {
+		line := viz.Series{Name: fmt.Sprintf("Model %s", roman(i+1)), Marker: defaultLineMarker(i)}
+		for step := 0; step <= 40; step++ {
+			age := maxAge * float64(step) / 40
+			line.X = append(line.X, age)
+			line.Y = append(line.Y, m.Eval(age))
+		}
+		series = append(series, line)
+	}
+	// Threshold line.
+	thr := viz.Series{Name: fmt.Sprintf("threshold %.3f", r.ThresholdDa), Marker: '-'}
+	for step := 0; step <= 40; step++ {
+		thr.X = append(thr.X, maxAge*float64(step)/40)
+		thr.Y = append(thr.Y, r.ThresholdDa)
+	}
+	series = append(series, thr)
+	return viz.Plot(series, viz.Config{
+		Width: 70, Height: 18,
+		XLabel: "equipment age (days)",
+		YLabel: "peak harmonic distance Da",
+	})
+}
+
+func defaultLineMarker(i int) byte {
+	markers := []byte{'I', 'H', 'M'}
+	return markers[i%len(markers)]
+}
+
+// Chart renders the Fig. 14 accuracy curves (one per metric).
+func (r *SweepResult) Chart() string {
+	series := make([]viz.Series, 0, len(feature.Metrics))
+	for _, m := range feature.Metrics {
+		s := viz.Series{Name: m.String()}
+		for _, n := range r.Sizes {
+			if p := r.At(m, n); p != nil {
+				s.X = append(s.X, float64(n))
+				s.Y = append(s.Y, p.Accuracy)
+			}
+		}
+		series = append(series, s)
+	}
+	return viz.Plot(series, viz.Config{
+		Width: 70, Height: 14,
+		XLabel: "training samples",
+		YLabel: "accuracy",
+		YFixed: true, YMin: 0, YMax: 1,
+	})
+}
+
+// fig16Pumps are the pumps whose trajectories the Fig. 16 chart shows:
+// a healthy Model I unit, the fast-ageing pump 2, the breakdown pump 7
+// (whose trend resets mid-window), and the boundary-crossing pump 11.
+var fig16Pumps = []int{0, 2, 7, 11}
+
+// Chart renders selected per-pump D_a trajectories against equipment
+// age with the Zone D threshold — the Fig. 16 panels.
+func (r *Table4Result) Chart() string {
+	if len(r.Trends) == 0 {
+		return ""
+	}
+	var series []viz.Series
+	var maxAge float64
+	for _, id := range fig16Pumps {
+		trend, ok := r.Trends[id]
+		if !ok {
+			continue
+		}
+		s := viz.Series{Name: fmt.Sprintf("pump %d", id)}
+		for _, p := range trend {
+			s.X = append(s.X, p.AgeDays)
+			s.Y = append(s.Y, p.Da)
+			if p.AgeDays > maxAge {
+				maxAge = p.AgeDays
+			}
+		}
+		series = append(series, s)
+	}
+	if len(series) == 0 {
+		return ""
+	}
+	thr := viz.Series{Name: fmt.Sprintf("threshold %.3f", r.Threshold), Marker: '-'}
+	for step := 0; step <= 40; step++ {
+		thr.X = append(thr.X, maxAge*float64(step)/40)
+		thr.Y = append(thr.Y, r.Threshold)
+	}
+	series = append(series, thr)
+	return viz.Plot(series, viz.Config{
+		Width: 70, Height: 16,
+		XLabel: "equipment age (days)",
+		YLabel: "peak harmonic distance Da",
+	})
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vibepm"
+	"vibepm/internal/feature"
+	"vibepm/internal/physics"
+)
+
+// SweepPoint is one (metric, nTrain) evaluation of the Fig. 12–14
+// sweep.
+type SweepPoint struct {
+	Metric feature.Metric
+	NTrain int
+	// Per-zone precision/recall in MergedZones order, plus macro
+	// averages and accuracy.
+	Precision      map[physics.MergedZone]float64
+	Recall         map[physics.MergedZone]float64
+	MacroPrecision float64
+	MacroRecall    float64
+	Accuracy       float64
+}
+
+// SweepResult reproduces Fig. 12 (precision), Fig. 13 (recall) and
+// Fig. 14 (accuracy) in one pass: every metric evaluated at every
+// training-set size.
+type SweepResult struct {
+	Points []SweepPoint
+	Sizes  []int
+}
+
+// Sweep runs the paper's protocol: for each metric and each training
+// size n ∈ {5, 10, …, 50}, train on n labels and test on the rest.
+func Sweep(c *Corpus) (*SweepResult, error) {
+	sizes := []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+	res := &SweepResult{Sizes: sizes}
+	temp := c.Temp()
+	for _, m := range feature.Metrics {
+		byN, err := c.Engine.EvaluateMetricSweep(m, sizes, temp, c.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep %v: %w", m, err)
+		}
+		for _, n := range sizes {
+			conf := byN[n]
+			p := SweepPoint{
+				Metric:         m,
+				NTrain:         n,
+				Precision:      map[physics.MergedZone]float64{},
+				Recall:         map[physics.MergedZone]float64{},
+				MacroPrecision: conf.MacroPrecision(),
+				MacroRecall:    conf.MacroRecall(),
+				Accuracy:       conf.Accuracy(),
+			}
+			for _, z := range physics.MergedZones {
+				p.Precision[z] = conf.Precision(z)
+				p.Recall[z] = conf.Recall(z)
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res, nil
+}
+
+// At returns the sweep point for (metric, nTrain), or nil.
+func (r *SweepResult) At(m feature.Metric, nTrain int) *SweepPoint {
+	for i := range r.Points {
+		if r.Points[i].Metric == m && r.Points[i].NTrain == nTrain {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// String renders the paper's panel structure: per-zone and average
+// precision (Fig. 12), per-zone and average recall (Fig. 13), and
+// accuracy (Fig. 14) — one row per training size, one column per
+// metric.
+func (r *SweepResult) String() string {
+	var b strings.Builder
+	render := func(title string, get func(SweepPoint) float64) {
+		fmt.Fprintf(&b, "%s\n%-8s", title, "n")
+		for _, m := range feature.Metrics {
+			fmt.Fprintf(&b, "%22s", m)
+		}
+		b.WriteByte('\n')
+		for _, n := range r.Sizes {
+			fmt.Fprintf(&b, "%-8d", n)
+			for _, m := range feature.Metrics {
+				if p := r.At(m, n); p != nil {
+					fmt.Fprintf(&b, "%22.3f", get(*p))
+				} else {
+					fmt.Fprintf(&b, "%22s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	for _, z := range physics.MergedZones {
+		zone := z
+		render(fmt.Sprintf("%v precision (Fig. 12)", zone),
+			func(p SweepPoint) float64 { return p.Precision[zone] })
+	}
+	render("Average precision (Fig. 12)", func(p SweepPoint) float64 { return p.MacroPrecision })
+	for _, z := range physics.MergedZones {
+		zone := z
+		render(fmt.Sprintf("%v recall (Fig. 13)", zone),
+			func(p SweepPoint) float64 { return p.Recall[zone] })
+	}
+	render("Average recall (Fig. 13)", func(p SweepPoint) float64 { return p.MacroRecall })
+	render("Accuracy (Fig. 14)", func(p SweepPoint) float64 { return p.Accuracy })
+	return b.String()
+}
+
+// Table3Result reproduces Table III: the confusion matrix of every
+// metric at 15 training samples.
+type Table3Result struct {
+	NTrain    int
+	Confusion map[feature.Metric]*vibepm.Confusion
+}
+
+// Table3 evaluates all four metrics at n = 15.
+func Table3(c *Corpus) (*Table3Result, error) {
+	res := &Table3Result{NTrain: 15, Confusion: map[feature.Metric]*vibepm.Confusion{}}
+	temp := c.Temp()
+	for _, m := range feature.Metrics {
+		conf, err := c.Engine.EvaluateMetric(m, res.NTrain, temp, c.Seed+15)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table3 %v: %w", m, err)
+		}
+		res.Confusion[m] = conf
+	}
+	return res, nil
+}
+
+// String renders each metric's confusion matrix.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion tables at %d training samples\n", r.NTrain)
+	for _, m := range feature.Metrics {
+		conf, ok := r.Confusion[m]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "\n[%v]\n%s", m, conf)
+	}
+	return b.String()
+}

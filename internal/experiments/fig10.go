@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vibepm/internal/dsp"
+	"vibepm/internal/physics"
+	"vibepm/internal/transform"
+)
+
+// Fig10Zone summarizes the PSD population of one zone (the paper plots
+// 100 sample traces per zone; we report the statistics that make the
+// visual differences quantitative).
+type Fig10Zone struct {
+	Zone    physics.MergedZone
+	Samples int
+	// MeanAmplitude is the average spectral amplitude (g/√Hz) across
+	// samples and bins.
+	MeanAmplitude float64
+	// MeanPeakValue is the average dominant-peak amplitude.
+	MeanPeakValue float64
+	// Fluctuation is the mean per-bin coefficient of variation across
+	// samples — the "random noise grows to cover each frequency area"
+	// effect.
+	Fluctuation float64
+	// HighFreqShare is the fraction of total power above 800 Hz.
+	HighFreqShare float64
+}
+
+// Fig10Result reproduces the per-zone PSD population comparison of
+// Fig. 10.
+type Fig10Result struct {
+	Zones []Fig10Zone
+}
+
+// Fig10 computes population statistics over up to maxPerZone labelled
+// measurements per zone (the paper uses 100).
+func Fig10(c *Corpus, maxPerZone int) (*Fig10Result, error) {
+	if maxPerZone <= 0 {
+		maxPerZone = 100
+	}
+	res := &Fig10Result{}
+	for _, zone := range physics.MergedZones {
+		var psds [][]float64
+		var freq []float64
+		for _, lr := range c.Dataset.ValidLabelled() {
+			if lr.Zone != zone || len(psds) >= maxPerZone {
+				continue
+			}
+			f, psd := transform.PSD(lr.Record)
+			freq = f
+			psds = append(psds, psd)
+		}
+		if len(psds) == 0 {
+			continue
+		}
+		z := Fig10Zone{Zone: zone, Samples: len(psds)}
+		bins := len(psds[0])
+		// Mean amplitude and dominant peak.
+		var ampSum, peakSum float64
+		for _, psd := range psds {
+			amp := transform.AmplitudeSpectrum(psd)
+			ampSum += dsp.Mean(amp)
+			best := 0.0
+			for _, v := range amp {
+				if v > best {
+					best = v
+				}
+			}
+			peakSum += best
+			z.HighFreqShare += dsp.BandPower(freq, psd, 800, freq[len(freq)-1]) /
+				(dsp.BandPower(freq, psd, 0, freq[len(freq)-1]) + 1e-30)
+		}
+		z.MeanAmplitude = ampSum / float64(len(psds))
+		z.MeanPeakValue = peakSum / float64(len(psds))
+		z.HighFreqShare /= float64(len(psds))
+		// Per-bin coefficient of variation across samples.
+		var cvSum float64
+		var cvBins int
+		for bin := 0; bin < bins; bin++ {
+			col := make([]float64, len(psds))
+			for i, psd := range psds {
+				col[i] = psd[bin]
+			}
+			mu := dsp.Mean(col)
+			if mu <= 0 {
+				continue
+			}
+			cvSum += dsp.Std(col) / mu
+			cvBins++
+		}
+		if cvBins > 0 {
+			z.Fluctuation = cvSum / float64(cvBins)
+		}
+		res.Zones = append(res.Zones, z)
+	}
+	return res, nil
+}
+
+// String renders the per-zone rows.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %8s %14s %14s %12s %12s\n",
+		"zone", "samples", "mean amp", "peak amp", "fluctuation", "HF share")
+	for _, z := range r.Zones {
+		fmt.Fprintf(&b, "%-9s %8d %14.5g %14.5g %12.3f %12.3f\n",
+			z.Zone, z.Samples, z.MeanAmplitude, z.MeanPeakValue, z.Fluctuation, z.HighFreqShare)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vibepm/internal/feature"
+)
+
+// RobustnessRun is one seed's key numbers.
+type RobustnessRun struct {
+	Seed         int64
+	Boundary     float64
+	PeakAccuracy float64 // at 15 training samples
+	TempAccuracy float64
+	LifetimeGain float64
+	Savings      float64
+}
+
+// RobustnessResult aggregates the evaluation's headline quantities over
+// several independently seeded corpora — the check that the
+// reproduction's shapes are properties of the system, not of one lucky
+// draw.
+type RobustnessResult struct {
+	Runs []RobustnessRun
+}
+
+// Robustness regenerates the corpus for each seed and recomputes the
+// decision boundary, the peak-harmonic and temperature accuracies at 15
+// training samples, and the fleet economics.
+func Robustness(scale Scale, seeds []int64) (*RobustnessResult, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3, 4, 5}
+	}
+	res := &RobustnessResult{}
+	for _, seed := range seeds {
+		c, err := NewCorpus(scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: robustness seed %d: %w", seed, err)
+		}
+		run := RobustnessRun{Seed: seed}
+		if run.Boundary, err = c.Engine.Boundary(); err != nil {
+			return nil, err
+		}
+		confPeak, err := c.Engine.EvaluateMetric(feature.MetricPeakHarmonic, 15, nil, seed)
+		if err != nil {
+			return nil, err
+		}
+		run.PeakAccuracy = confPeak.Accuracy()
+		confTemp, err := c.Engine.EvaluateMetric(feature.MetricTemperature, 15, c.Temp(), seed)
+		if err != nil {
+			return nil, err
+		}
+		run.TempAccuracy = confTemp.Accuracy()
+		head, err := Headline(c)
+		if err != nil {
+			return nil, err
+		}
+		run.LifetimeGain = head.LifetimeGain
+		run.Savings = head.SavingsFraction
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// meanStd returns the mean and population standard deviation of the
+// extracted quantity over the runs.
+func (r *RobustnessResult) meanStd(get func(RobustnessRun) float64) (mean, std float64) {
+	n := float64(len(r.Runs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, run := range r.Runs {
+		mean += get(run)
+	}
+	mean /= n
+	for _, run := range r.Runs {
+		d := get(run) - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / n)
+}
+
+// String renders the per-seed rows and the aggregates.
+func (r *RobustnessResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %12s %12s %10s %10s\n",
+		"seed", "boundary", "peak acc", "temp acc", "life gain", "savings")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%-6d %10.3f %12.3f %12.3f %10.2f %9.1f%%\n",
+			run.Seed, run.Boundary, run.PeakAccuracy, run.TempAccuracy,
+			run.LifetimeGain, 100*run.Savings)
+	}
+	row := func(label string, get func(RobustnessRun) float64, pct bool) {
+		mean, std := r.meanStd(get)
+		if pct {
+			fmt.Fprintf(&b, "%-12s %.1f%% +/- %.1f%%\n", label, 100*mean, 100*std)
+		} else {
+			fmt.Fprintf(&b, "%-12s %.3f +/- %.3f\n", label, mean, std)
+		}
+	}
+	b.WriteString("aggregates over seeds:\n")
+	row("boundary", func(x RobustnessRun) float64 { return x.Boundary }, false)
+	row("peak acc", func(x RobustnessRun) float64 { return x.PeakAccuracy }, false)
+	row("temp acc", func(x RobustnessRun) float64 { return x.TempAccuracy }, false)
+	row("life gain", func(x RobustnessRun) float64 { return x.LifetimeGain }, false)
+	row("savings", func(x RobustnessRun) float64 { return x.Savings }, true)
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vibepm/internal/dsp"
+)
+
+// harmonicFromSeed builds a small deterministic harmonic feature from
+// fuzz bytes: ascending frequencies in (0, 2000), positive values.
+func harmonicFromSeed(seed []byte) Harmonic {
+	h := Harmonic{BinHz: 2}
+	f := 50.0
+	for i, b := range seed {
+		if i >= 20 {
+			break
+		}
+		f += 10 + float64(b%100)
+		if f >= 2000 {
+			break
+		}
+		h.Peaks = append(h.Peaks, dsp.Peak{
+			Index: i,
+			Freq:  f,
+			Value: 0.01 + float64(b)/255,
+		})
+	}
+	return h
+}
+
+// TestPeakDistanceNonNegativeProperty: Algorithm 1 is a distance-like
+// score — never negative, zero on identical features.
+func TestPeakDistanceNonNegativeProperty(t *testing.T) {
+	f := func(aSeed, bSeed []byte) bool {
+		a, b := harmonicFromSeed(aSeed), harmonicFromSeed(bSeed)
+		if len(a.Peaks) == 0 || len(b.Peaks) == 0 {
+			return true
+		}
+		d, err := PeakDistance(a, b, 0, 0, Options{})
+		if err != nil {
+			return false
+		}
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return false
+		}
+		self, err := PeakDistance(a, a, 0, 0, Options{})
+		if err != nil {
+			return false
+		}
+		return self < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeakDistanceNormalizerScaleInvariantProperty: scaling both
+// features' peak values together with p_max leaves the distance
+// unchanged (the reason Algorithm 1 prescribes global normalizers).
+func TestPeakDistanceNormalizerScaleInvariantProperty(t *testing.T) {
+	f := func(aSeed, bSeed []byte, scaleSeed uint8) bool {
+		a, b := harmonicFromSeed(aSeed), harmonicFromSeed(bSeed)
+		if len(a.Peaks) == 0 || len(b.Peaks) == 0 {
+			return true
+		}
+		scale := 1 + float64(scaleSeed)/16
+		pmax, fmax := MaxPeak(a, b)
+		if pmax <= 0 || fmax <= 0 {
+			return true
+		}
+		d1, err := PeakDistance(a, b, pmax, fmax, Options{})
+		if err != nil {
+			return false
+		}
+		scaleFeature := func(h Harmonic) Harmonic {
+			out := Harmonic{BinHz: h.BinHz}
+			for _, p := range h.Peaks {
+				p.Value *= scale
+				out.Peaks = append(out.Peaks, p)
+			}
+			return out
+		}
+		d2, err := PeakDistance(scaleFeature(a), scaleFeature(b), pmax*scale, fmax, Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(d1-d2) < 1e-9*(1+d1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

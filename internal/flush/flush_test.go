@@ -1,0 +1,193 @@
+package flush
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vibepm/internal/mems"
+)
+
+func randomPayload(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestSplitMeasurementPacketCount(t *testing.T) {
+	payload := randomPayload(1, mems.MeasurementBytes)
+	pkts := Split(payload)
+	// 6144 / 52 = 118.2 → 119 data packets; +1 control per round ⇒ the
+	// paper's "120 data packets" per transfer.
+	if len(pkts) != 119 {
+		t.Fatalf("data packets = %d, want 119", len(pkts))
+	}
+	// All bytes accounted for, in order.
+	var re []byte
+	for i, p := range pkts {
+		if p.Seq != i || p.Total != 119 {
+			t.Fatalf("packet %d header %+v", i, p)
+		}
+		re = append(re, p.Data...)
+	}
+	if !bytes.Equal(re, payload) {
+		t.Fatal("split lost bytes")
+	}
+}
+
+func TestSplitEmptyPayload(t *testing.T) {
+	pkts := Split(nil)
+	if len(pkts) != 1 {
+		t.Fatalf("empty payload packets = %d", len(pkts))
+	}
+}
+
+func TestTransferPerfectLink(t *testing.T) {
+	payload := randomPayload(2, mems.MeasurementBytes)
+	fwd := NewLink(LinkConfig{Seed: 1})
+	rev := NewLink(LinkConfig{Seed: 2})
+	got, stats, err := Transfer(payload, fwd, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if !stats.Delivered || stats.Rounds != 1 || stats.Retransmissions != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// 119 data + 1 control = 120 packets on a clean first round.
+	if stats.PacketsSent != 120 {
+		t.Fatalf("packets sent = %d, want 120", stats.PacketsSent)
+	}
+}
+
+func TestTransferLossyLinkRecovers(t *testing.T) {
+	payload := randomPayload(3, mems.MeasurementBytes)
+	fwd := NewLink(LinkConfig{GoodLoss: 0.15, Seed: 3})
+	rev := NewLink(LinkConfig{GoodLoss: 0.15, Seed: 4})
+	got, stats, err := Transfer(payload, fwd, rev)
+	if err != nil {
+		t.Fatalf("err = %v (stats %+v)", err, stats)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if stats.Rounds < 2 || stats.Retransmissions == 0 {
+		t.Fatalf("loss should force retransmission rounds: %+v", stats)
+	}
+	if stats.NACKPackets != stats.Rounds-1 {
+		t.Fatalf("NACKs %d for %d rounds", stats.NACKPackets, stats.Rounds)
+	}
+}
+
+func TestTransferBurstyLinkRecovers(t *testing.T) {
+	payload := randomPayload(4, mems.MeasurementBytes)
+	fwd := NewLink(LinkConfig{GoodLoss: 0.02, BadLoss: 0.9, PGoodToBad: 0.05, PBadToGood: 0.2, Seed: 5})
+	rev := NewLink(LinkConfig{Seed: 6})
+	got, _, err := Transfer(payload, fwd, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestTransferHopelessLinkFails(t *testing.T) {
+	payload := randomPayload(5, 1024)
+	fwd := NewLink(LinkConfig{GoodLoss: 1.0, BadLoss: 1.0, Seed: 7})
+	rev := NewLink(LinkConfig{Seed: 8})
+	_, stats, err := Transfer(payload, fwd, rev)
+	if !errors.Is(err, ErrTransferFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if stats.Delivered {
+		t.Fatal("stats claim delivery on a dead link")
+	}
+	if stats.Rounds != MaxRounds {
+		t.Fatalf("rounds = %d, want %d", stats.Rounds, MaxRounds)
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	l := NewLink(LinkConfig{GoodLoss: 0.5, Seed: 9})
+	for i := 0; i < 1000; i++ {
+		l.Deliver()
+	}
+	offered, dropped := l.Stats()
+	if offered != 1000 {
+		t.Fatalf("offered %d", offered)
+	}
+	rate := float64(dropped) / float64(offered)
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("empirical loss %.3f, want ≈0.5", rate)
+	}
+}
+
+func TestLinkBurstsCorrelateLoss(t *testing.T) {
+	// With strong burst dynamics, consecutive losses should cluster:
+	// the conditional loss probability after a loss must exceed the
+	// marginal loss rate.
+	l := NewLink(LinkConfig{GoodLoss: 0.01, BadLoss: 0.95, PGoodToBad: 0.02, PBadToGood: 0.2, Seed: 10})
+	const n = 200000
+	losses := make([]bool, n)
+	for i := range losses {
+		losses[i] = !l.Deliver()
+	}
+	var lossCount, pairCount, afterLoss int
+	for i := 0; i < n; i++ {
+		if losses[i] {
+			lossCount++
+			if i+1 < n {
+				pairCount++
+				if losses[i+1] {
+					afterLoss++
+				}
+			}
+		}
+	}
+	marginal := float64(lossCount) / n
+	conditional := float64(afterLoss) / float64(pairCount)
+	if conditional < marginal*2 {
+		t.Fatalf("loss not bursty: marginal %.4f conditional %.4f", marginal, conditional)
+	}
+}
+
+func TestTransferDeterministicWithSeeds(t *testing.T) {
+	payload := randomPayload(11, 2048)
+	run := func() *TransferStats {
+		fwd := NewLink(LinkConfig{GoodLoss: 0.2, Seed: 12})
+		rev := NewLink(LinkConfig{GoodLoss: 0.2, Seed: 13})
+		_, stats, err := Transfer(payload, fwd, rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	a, b := run(), run()
+	if a.PacketsSent != b.PacketsSent || a.Rounds != b.Rounds {
+		t.Fatal("transfer not deterministic under fixed seeds")
+	}
+}
+
+func TestTransferRoundtripProperty(t *testing.T) {
+	f := func(data []byte, seed int64) bool {
+		if len(data) > 8192 {
+			data = data[:8192]
+		}
+		fwd := NewLink(LinkConfig{GoodLoss: 0.1, Seed: seed})
+		rev := NewLink(LinkConfig{GoodLoss: 0.1, Seed: seed + 1})
+		got, _, err := Transfer(data, fwd, rev)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

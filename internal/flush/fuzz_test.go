@@ -1,0 +1,38 @@
+package flush
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTransfer drives the full protocol with arbitrary payloads and
+// loss-process seeds: delivery must be all-or-nothing and byte-exact.
+func FuzzTransfer(f *testing.F) {
+	f.Add([]byte("hello flush"), int64(1), uint8(10))
+	f.Add([]byte{}, int64(2), uint8(0))
+	f.Add(bytes.Repeat([]byte{0xAB}, 6144), int64(3), uint8(30))
+
+	f.Fuzz(func(t *testing.T, payload []byte, seed int64, lossPct uint8) {
+		if len(payload) > 16384 {
+			payload = payload[:16384]
+		}
+		loss := float64(lossPct%60) / 100 // up to 59% loss: recoverable
+		fwd := NewLink(LinkConfig{GoodLoss: loss, Seed: seed})
+		rev := NewLink(LinkConfig{GoodLoss: loss, Seed: seed + 1})
+		got, stats, err := Transfer(payload, fwd, rev)
+		if err != nil {
+			// Failure is legal under loss, but must be reported
+			// consistently.
+			if stats.Delivered {
+				t.Fatal("error with Delivered=true")
+			}
+			return
+		}
+		if !stats.Delivered {
+			t.Fatal("success with Delivered=false")
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("delivered payload differs")
+		}
+	})
+}

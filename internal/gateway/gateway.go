@@ -1,0 +1,284 @@
+// Package gateway implements the sensor management server of the
+// paper's §II (Fig. 1 and Fig. 4): it registers motes at boot-up,
+// assigns staggered wakeup slots, receives each measurement through the
+// Flush bulk transport, tracks per-mote heartbeats (marking motes dead
+// when heartbeats stop), and ingests reassembled measurements into the
+// measurement database.
+package gateway
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vibepm/internal/flush"
+	"vibepm/internal/mems"
+	"vibepm/internal/mote"
+	"vibepm/internal/sched"
+	"vibepm/internal/store"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Store receives the ingested measurements; nil allocates a fresh
+	// one.
+	Store *store.Measurements
+	// Link configures the lossy radio channel between each mote and the
+	// base station (per-mote links are derived with distinct seeds).
+	Link flush.LinkConfig
+	// HeartbeatTimeoutDays is how long the server waits past a missed
+	// wakeup before declaring a mote dead (default: 2 report periods).
+	HeartbeatTimeoutDays float64
+	// SlotSpacingHours staggers the wakeup slots assigned at
+	// registration so motes do not collide on the channel (default
+	// 0.1 h). Ignored when Slots is set.
+	SlotSpacingHours float64
+	// Slots, when non-nil, assigns each mote the offset and period of a
+	// precomputed TDMA schedule (see internal/sched) instead of the
+	// naive stagger.
+	Slots *sched.Schedule
+}
+
+// Server is the sensor management server. It is safe for concurrent
+// use.
+type Server struct {
+	mu    sync.Mutex
+	cfg   Config
+	store *store.Measurements
+	motes map[int]*entry
+	now   float64
+}
+
+type entry struct {
+	m             *mote.Mote
+	forward       *flush.Link
+	reverse       *flush.Link
+	lastHeartbeat float64
+	dead          bool
+	transfers     int
+	failures      int
+}
+
+// IngestReport summarizes one Advance call.
+type IngestReport struct {
+	// Stored counts measurements successfully delivered and ingested.
+	Stored int
+	// TransferFailures counts measurements lost to the radio channel.
+	TransferFailures int
+	// PacketsSent totals the link-layer frames, retransmissions
+	// included.
+	PacketsSent int
+	// Retransmissions totals retransmitted data packets.
+	Retransmissions int
+	// NewlyDead lists motes first marked dead during this call.
+	NewlyDead []int
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMeasurements()
+	}
+	if cfg.SlotSpacingHours <= 0 {
+		cfg.SlotSpacingHours = 0.1
+	}
+	return &Server{cfg: cfg, store: st, motes: make(map[int]*entry)}
+}
+
+// Store returns the measurement database the server ingests into.
+func (s *Server) Store() *store.Measurements { return s.store }
+
+// ErrDuplicateMote is returned when registering an id twice.
+var ErrDuplicateMote = errors.New("gateway: mote already registered")
+
+// Register handles a mote's boot-up notification: the server assigns
+// its first wakeup slot (staggered by registration order) and boots it.
+func (s *Server) Register(m *mote.Mote, startDays float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := m.ID()
+	if _, ok := s.motes[id]; ok {
+		return ErrDuplicateMote
+	}
+	slot := startDays + float64(len(s.motes))*s.cfg.SlotSpacingHours/24
+	if s.cfg.Slots != nil {
+		for _, a := range s.cfg.Slots.Assignments {
+			if a.MoteID == id {
+				slot = startDays + a.OffsetSeconds/86400
+				if err := m.SetReportPeriod(a.PeriodSeconds / 3600); err != nil {
+					return fmt.Errorf("gateway: schedule for mote %d: %w", id, err)
+				}
+				break
+			}
+		}
+	}
+	m.Boot(slot)
+	s.motes[id] = &entry{
+		m:             m,
+		forward:       flush.NewLink(withSeed(s.cfg.Link, int64(id)*2+1)),
+		reverse:       flush.NewLink(withSeed(s.cfg.Link, int64(id)*2+2)),
+		lastHeartbeat: slot,
+	}
+	return nil
+}
+
+func withSeed(cfg flush.LinkConfig, delta int64) flush.LinkConfig {
+	cfg.Seed += delta
+	return cfg
+}
+
+// Advance moves the whole network to nowDays: every registered mote
+// executes its due wakeup slots, each produced measurement crosses the
+// Flush channel and, if delivered intact, is ingested. Heartbeats are
+// tracked and overdue motes are marked dead.
+func (s *Server) Advance(nowDays float64) IngestReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep IngestReport
+	s.now = nowDays
+	ids := make([]int, 0, len(s.motes))
+	for id := range s.motes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e := s.motes[id]
+		for _, w := range e.m.Advance(nowDays) {
+			if w.Heartbeat {
+				e.lastHeartbeat = w.AtDays
+			}
+			if w.Measurement == nil {
+				continue
+			}
+			rec := recordFromMeasurement(id, w.Measurement)
+			payload, err := encodePayload(rec)
+			if err != nil {
+				rep.TransferFailures++
+				e.failures++
+				continue
+			}
+			delivered, stats, err := flush.Transfer(payload, e.forward, e.reverse)
+			rep.PacketsSent += stats.PacketsSent
+			rep.Retransmissions += stats.Retransmissions
+			e.transfers++
+			if err != nil {
+				rep.TransferFailures++
+				e.failures++
+				continue
+			}
+			got, err := decodePayload(delivered)
+			if err != nil {
+				rep.TransferFailures++
+				e.failures++
+				continue
+			}
+			s.store.Add(got)
+			rep.Stored++
+		}
+		// Liveness: if the mote missed its heartbeat for longer than the
+		// timeout, mark it dead.
+		timeout := s.cfg.HeartbeatTimeoutDays
+		if timeout <= 0 {
+			timeout = 2 * e.m.ReportPeriodHours() / 24
+		}
+		if !e.dead && nowDays-e.lastHeartbeat > timeout {
+			e.dead = true
+			rep.NewlyDead = append(rep.NewlyDead, id)
+		}
+	}
+	return rep
+}
+
+// recordFromMeasurement converts a sensor capture into a store record.
+func recordFromMeasurement(pumpID int, m *mems.Measurement) *store.Record {
+	rec := &store.Record{
+		PumpID:       pumpID,
+		ServiceDays:  m.ServiceDays,
+		SampleRateHz: m.SampleRateHz,
+		ScaleG:       m.ScaleG,
+	}
+	for axis := 0; axis < mems.Axes; axis++ {
+		rec.Raw[axis] = m.Raw[axis]
+	}
+	return rec
+}
+
+func encodePayload(rec *store.Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := store.EncodeRecord(&buf, rec); err != nil {
+		return nil, fmt.Errorf("gateway: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePayload(payload []byte) (*store.Record, error) {
+	rec, err := store.DecodeRecord(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("gateway: decode: %w", err)
+	}
+	return rec, nil
+}
+
+// MoteStatus reports one mote's health as seen by the server.
+type MoteStatus struct {
+	ID            int
+	State         mote.State
+	Dead          bool
+	LastHeartbeat float64
+	BatteryJ      float64
+	Transfers     int
+	Failures      int
+	Produced      int
+}
+
+// Status returns the status of every registered mote, ordered by id.
+func (s *Server) Status() []MoteStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int, 0, len(s.motes))
+	for id := range s.motes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]MoteStatus, 0, len(ids))
+	for _, id := range ids {
+		e := s.motes[id]
+		out = append(out, MoteStatus{
+			ID:            id,
+			State:         e.m.State(),
+			Dead:          e.dead,
+			LastHeartbeat: e.lastHeartbeat,
+			BatteryJ:      e.m.BatteryJ(),
+			Transfers:     e.transfers,
+			Failures:      e.failures,
+			Produced:      e.m.Produced(),
+		})
+	}
+	return out
+}
+
+// DeadMotes lists the ids the server has marked dead.
+func (s *Server) DeadMotes() []int {
+	var out []int
+	for _, st := range s.Status() {
+		if st.Dead {
+			out = append(out, st.ID)
+		}
+	}
+	return out
+}
+
+// SetReportPeriod forwards a schedule change to a registered mote —
+// the server-side control path used by the adaptive scheduler.
+func (s *Server) SetReportPeriod(moteID int, hours float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.motes[moteID]
+	if !ok {
+		return fmt.Errorf("gateway: unknown mote %d", moteID)
+	}
+	return e.m.SetReportPeriod(hours)
+}

@@ -1,0 +1,174 @@
+package kde
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func normalSamples(rng *rand.Rand, mu, sigma float64, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = mu + sigma*rng.NormFloat64()
+	}
+	return s
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 0); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDensityPeaksAtMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e, err := New(normalSamples(rng, 2, 0.5, 2000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dMode := e.Density(2)
+	if dMode < e.Density(0.5) || dMode < e.Density(3.5) {
+		t.Fatalf("density at mode %.4f not maximal (%.4f, %.4f)", dMode, e.Density(0.5), e.Density(3.5))
+	}
+	// Against the true N(2, 0.5) peak 1/(0.5·√(2π)) ≈ 0.7979.
+	if math.Abs(dMode-0.7979) > 0.12 {
+		t.Fatalf("mode density %.4f far from true 0.798", dMode)
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e, err := New(normalSamples(rng, 0, 1, 500), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := e.Support()
+	const steps = 4000
+	var integral float64
+	dx := (hi - lo) / steps
+	for i := 0; i <= steps; i++ {
+		integral += e.Density(lo+float64(i)*dx) * dx
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Fatalf("density integrates to %.4f", integral)
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e, err := New(normalSamples(rng, 5, 2, 300), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := e.Support()
+	prev := -1.0
+	for i := 0; i <= 100; i++ {
+		x := lo + (hi-lo)*float64(i)/100
+		c := e.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %g", x)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range: %g", c)
+		}
+		prev = c
+	}
+	if e.CDF(lo) > 0.01 || e.CDF(hi) < 0.99 {
+		t.Fatalf("CDF endpoints %g %g", e.CDF(lo), e.CDF(hi))
+	}
+}
+
+func TestDegenerateSamples(t *testing.T) {
+	e, err := New([]float64{3, 3, 3, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bandwidth() <= 0 {
+		t.Fatalf("bandwidth %g", e.Bandwidth())
+	}
+	if e.Density(3) <= 0 {
+		t.Fatal("zero density at the only mode")
+	}
+}
+
+func TestExplicitBandwidth(t *testing.T) {
+	e, err := New([]float64{0, 1, 2}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bandwidth() != 0.7 {
+		t.Fatalf("bandwidth %g, want 0.7", e.Bandwidth())
+	}
+	if e.N() != 3 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestSilvermanBandwidthBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small := SilvermanBandwidth(normalSamples(rng, 0, 1, 50))
+	large := SilvermanBandwidth(normalSamples(rng, 0, 1, 5000))
+	if small <= 0 || large <= 0 {
+		t.Fatal("bandwidths must be positive")
+	}
+	if large >= small {
+		t.Fatalf("bandwidth should shrink with n: %g vs %g", small, large)
+	}
+	if SilvermanBandwidth([]float64{1}) != 0 {
+		t.Fatal("single sample should give zero (caller falls back)")
+	}
+}
+
+func TestDecisionBoundarySeparatedClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, err := New(normalSamples(rng, 0, 1, 1000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(normalSamples(rng, 6, 1, 1000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := DecisionBoundary(a, b)
+	// Equal priors and symmetric spreads → boundary near the midpoint 3.
+	if math.Abs(x-3) > 0.5 {
+		t.Fatalf("boundary %.3f, want ≈3", x)
+	}
+}
+
+func TestDecisionBoundaryPriorShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Class a has 9× the samples of b: the boundary shifts toward b to
+	// avoid misclassifying the dominant class.
+	a, _ := New(normalSamples(rng, 0, 1, 1800), 0)
+	b, _ := New(normalSamples(rng, 4, 1, 200), 0)
+	x := DecisionBoundary(a, b)
+	if x <= 2 {
+		t.Fatalf("boundary %.3f should shift above the midpoint 2", x)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	e, err := New([]float64{0, 1, 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := e.Grid(0, 2, 5)
+	if len(xs) != 5 || len(ys) != 5 {
+		t.Fatalf("grid lengths %d %d", len(xs), len(ys))
+	}
+	if xs[0] != 0 || xs[4] != 2 {
+		t.Fatalf("grid endpoints %v", xs)
+	}
+	for _, y := range ys {
+		if y < 0 {
+			t.Fatal("negative density")
+		}
+	}
+	// n < 2 is clamped.
+	xs, _ = e.Grid(0, 1, 1)
+	if len(xs) != 2 {
+		t.Fatalf("clamped grid length %d", len(xs))
+	}
+}

@@ -1,0 +1,107 @@
+package kde
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// cleanSamples turns fuzz bytes into a bounded sample set.
+func cleanSamples(raw []byte) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, b := range raw {
+		out = append(out, float64(b)/16)
+		if len(out) == 64 {
+			break
+		}
+	}
+	return out
+}
+
+// TestDensityNonNegativeProperty: a density is never negative, NaN, or
+// infinite anywhere on its support.
+func TestDensityNonNegativeProperty(t *testing.T) {
+	f := func(raw []byte, at float64) bool {
+		samples := cleanSamples(raw)
+		if len(samples) == 0 {
+			return true
+		}
+		e, err := New(samples, 0)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(at) || math.IsInf(at, 0) {
+			return true
+		}
+		x := math.Mod(at, 32)
+		d := e.Density(x)
+		return d >= 0 && !math.IsNaN(d) && !math.IsInf(d, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCDFMonotoneProperty: the CDF never decreases and stays in [0, 1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []byte, a, b float64) bool {
+		samples := cleanSamples(raw)
+		if len(samples) == 0 {
+			return true
+		}
+		e, err := New(samples, 0)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		x, y := math.Mod(a, 32), math.Mod(b, 32)
+		if x > y {
+			x, y = y, x
+		}
+		cx, cy := e.CDF(x), e.CDF(y)
+		return cx >= -1e-12 && cy <= 1+1e-12 && cx <= cy+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoundarySeparatesMeansProperty: for two clearly separated sample
+// clouds, the decision boundary lies strictly between their means.
+func TestBoundarySeparatesMeansProperty(t *testing.T) {
+	f := func(raw []byte, gapSeed uint8) bool {
+		lows := cleanSamples(raw)
+		if len(lows) < 4 {
+			return true
+		}
+		gap := 40 + float64(gapSeed)
+		highs := make([]float64, len(lows))
+		for i, v := range lows {
+			highs[i] = v + gap
+		}
+		a, err := New(lows, 0)
+		if err != nil {
+			return false
+		}
+		b, err := New(highs, 0)
+		if err != nil {
+			return false
+		}
+		x := DecisionBoundary(a, b)
+		meanLo, meanHi := mean(lows), mean(highs)
+		return x > meanLo && x < meanHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mean(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}

@@ -1,0 +1,162 @@
+package mote
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFig5AnchorPoints(t *testing.T) {
+	// The paper: at 150 Hz sampling, a 3-year target lifetime forces a
+	// report period of ≈10.2 h; 2 years ≈5.2 h.
+	e := DefaultEnergyModel()
+	p3, err := e.MinReportPeriod(150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p3-10.2) > 0.4 {
+		t.Fatalf("3-year period %.2f h, want ≈10.2", p3)
+	}
+	p2, err := e.MinReportPeriod(150, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2-5.2) > 0.3 {
+		t.Fatalf("2-year period %.2f h, want ≈5.2", p2)
+	}
+}
+
+func TestFig5MeasurementCounts(t *testing.T) {
+	// "2,576 vibration measurements in three years ... 3,650 for 2
+	// years" at 150 Hz.
+	e := DefaultEnergyModel()
+	n3, err := e.MeasurementsOverLifetime(150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n3-2576) > 150 {
+		t.Fatalf("3-year measurements %.0f, want ≈2576", n3)
+	}
+	n2, err := e.MeasurementsOverLifetime(150, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n2-3650) > 300 {
+		t.Fatalf("2-year measurements %.0f, want ≈3650", n2)
+	}
+}
+
+func TestMinReportPeriodShapes(t *testing.T) {
+	e := DefaultEnergyModel()
+	// Shape 1: at fixed lifetime the bound falls as fs rises (sampling
+	// gets cheaper), flattening once radio dominates.
+	p150, _ := e.MinReportPeriod(150, 3)
+	p1k, _ := e.MinReportPeriod(1000, 3)
+	p22k, _ := e.MinReportPeriod(22000, 3)
+	if !(p150 > p1k && p1k > p22k) {
+		t.Fatalf("period not decreasing in fs: %.2f %.2f %.2f", p150, p1k, p22k)
+	}
+	// At the high end the radio cost floors the curve.
+	p10k, _ := e.MinReportPeriod(10000, 3)
+	if (p10k-p22k)/p22k > 0.5 {
+		t.Fatalf("curve should flatten at high fs: %.3f vs %.3f", p10k, p22k)
+	}
+	// Shape 2: longer target lifetimes demand longer periods.
+	var prev float64
+	for _, years := range []float64{1, 2, 3, 4} {
+		p, err := e.MinReportPeriod(150, years)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= prev {
+			t.Fatalf("period must grow with target years: %.2f after %.2f", p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMeasurementEnergy(t *testing.T) {
+	e := DefaultEnergyModel()
+	low, err := e.MeasurementEnergy(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := e.MeasurementEnergy(22000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low <= high {
+		t.Fatalf("low-rate measurement should cost more: %.4f vs %.4f", low, high)
+	}
+	// At very high rates the radio energy dominates.
+	if high < e.RadioJ || high > e.RadioJ*1.2 {
+		t.Fatalf("high-rate energy %.4f should approach radio cost %.4f", high, e.RadioJ)
+	}
+	if _, err := e.MeasurementEnergy(0); !errors.Is(err, ErrRate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMeasurementEnergyDefaultK(t *testing.T) {
+	e := EnergyModel{BatteryJ: 100, ActiveW: 0.1, RadioJ: 0.01}
+	got, err := e.MeasurementEnergy(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K defaults to 1024 → active time 1 s → 0.1 J + 0.01 J.
+	if math.Abs(got-0.11) > 1e-12 {
+		t.Fatalf("energy %g", got)
+	}
+}
+
+func TestMinReportPeriodErrorsAndInfinity(t *testing.T) {
+	e := DefaultEnergyModel()
+	if _, err := e.MinReportPeriod(150, 0); !errors.Is(err, ErrLifetime) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.MinReportPeriod(0, 1); !errors.Is(err, ErrRate) {
+		t.Fatalf("err = %v", err)
+	}
+	// A target so long that sleep alone kills the battery → +Inf.
+	p, err := e.MinReportPeriod(150, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Fatalf("10-year target should be infeasible, got %.2f h", p)
+	}
+	n, err := e.MeasurementsOverLifetime(150, 10)
+	if err != nil || n != 0 {
+		t.Fatalf("infeasible lifetime should afford 0 measurements, got %v %v", n, err)
+	}
+}
+
+func TestLifetimeForScheduleRoundtrip(t *testing.T) {
+	e := DefaultEnergyModel()
+	p, err := e.MinReportPeriod(4000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years, err := e.LifetimeForSchedule(4000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(years-2) > 0.05 {
+		t.Fatalf("roundtrip lifetime %.3f years, want 2", years)
+	}
+	if _, err := e.LifetimeForSchedule(4000, 0); err == nil {
+		t.Fatal("want error for zero period")
+	}
+	if _, err := e.LifetimeForSchedule(0, 1); err == nil {
+		t.Fatal("want error for zero rate")
+	}
+}
+
+func TestLifetimeMonotoneInPeriod(t *testing.T) {
+	e := DefaultEnergyModel()
+	short, _ := e.LifetimeForSchedule(4000, 1)
+	long, _ := e.LifetimeForSchedule(4000, 24)
+	if long <= short {
+		t.Fatalf("longer report period must extend lifetime: %.2f vs %.2f", long, short)
+	}
+}

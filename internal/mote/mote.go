@@ -1,0 +1,231 @@
+package mote
+
+import (
+	"errors"
+	"fmt"
+
+	"vibepm/internal/mems"
+)
+
+// State is the mote's lifecycle state (paper Fig. 3: boot-up, then
+// alternating sleep and active wakeup slots; the active slot contains a
+// round period for data transfer and a heartbeat period for liveness).
+type State int
+
+const (
+	// StateBooting is the initial state before the first wakeup slot is
+	// assigned.
+	StateBooting State = iota
+	// StateSleeping is the ultra-low-power state between wakeup slots.
+	StateSleeping
+	// StateActive is the wakeup slot (sampling + round + heartbeat).
+	StateActive
+	// StateDead means the battery is exhausted; the gateway will mark
+	// the mote dead when heartbeats stop.
+	StateDead
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateBooting:
+		return "booting"
+	case StateSleeping:
+		return "sleeping"
+	case StateActive:
+		return "active"
+	case StateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config describes one mote.
+type Config struct {
+	// ID identifies the mote; by convention it equals the pump id.
+	ID int
+	// ReportPeriodHours is the assigned wakeup interval. Required, > 0.
+	ReportPeriodHours float64
+	// Energy is the battery model; the zero value selects
+	// DefaultEnergyModel.
+	Energy EnergyModel
+	// SamplesPerMeasurement overrides K (default 1024).
+	SamplesPerMeasurement int
+}
+
+// Mote is one simulated sensor node. It owns a sensor and a vibration
+// source, tracks its battery, and produces measurements on its wakeup
+// schedule. Mote is not safe for concurrent use.
+type Mote struct {
+	cfg      Config
+	sensor   *mems.Sensor
+	source   mems.Source
+	battery  float64
+	state    State
+	nextWake float64 // service days
+	lastWake float64
+	produced int
+}
+
+// Wakeup is the outcome of one wakeup slot.
+type Wakeup struct {
+	// MoteID identifies the producer.
+	MoteID int
+	// AtDays is the service time of the slot.
+	AtDays float64
+	// Measurement is the captured vibration data (nil if the mote died
+	// mid-slot).
+	Measurement *mems.Measurement
+	// Heartbeat reports whether the heartbeat period completed — the
+	// gateway uses its absence to mark the mote dead.
+	Heartbeat bool
+	// EnergyJ is the energy the slot consumed.
+	EnergyJ float64
+}
+
+// ErrNoSchedule is returned when the report period is not positive.
+var ErrNoSchedule = errors.New("mote: report period must be positive")
+
+// New builds a mote around the given sensor and source.
+func New(cfg Config, sensor *mems.Sensor, source mems.Source) (*Mote, error) {
+	if cfg.ReportPeriodHours <= 0 {
+		return nil, ErrNoSchedule
+	}
+	if cfg.Energy == (EnergyModel{}) {
+		cfg.Energy = DefaultEnergyModel()
+	}
+	if cfg.SamplesPerMeasurement <= 0 {
+		cfg.SamplesPerMeasurement = mems.SamplesPerMeasurement
+	}
+	return &Mote{
+		cfg:     cfg,
+		sensor:  sensor,
+		source:  source,
+		battery: cfg.Energy.BatteryJ,
+		state:   StateBooting,
+	}, nil
+}
+
+// ID returns the mote id.
+func (m *Mote) ID() int { return m.cfg.ID }
+
+// State returns the current lifecycle state.
+func (m *Mote) State() State { return m.state }
+
+// BatteryJ returns the remaining battery energy.
+func (m *Mote) BatteryJ() float64 { return m.battery }
+
+// Produced returns how many measurements the mote has delivered.
+func (m *Mote) Produced() int { return m.produced }
+
+// NextWakeDays returns the service time of the next scheduled wakeup.
+func (m *Mote) NextWakeDays() float64 { return m.nextWake }
+
+// SetReportPeriod reassigns the wakeup interval — the knob the adaptive
+// scheduler turns. The change applies from the next wakeup.
+func (m *Mote) SetReportPeriod(hours float64) error {
+	if hours <= 0 {
+		return ErrNoSchedule
+	}
+	m.cfg.ReportPeriodHours = hours
+	return nil
+}
+
+// ReportPeriodHours returns the current wakeup interval.
+func (m *Mote) ReportPeriodHours() float64 { return m.cfg.ReportPeriodHours }
+
+// Boot performs the boot-up notification: the mote becomes sleeping
+// with its first wakeup slot at startDays (assigned by the management
+// server).
+func (m *Mote) Boot(startDays float64) {
+	if m.state == StateDead {
+		return
+	}
+	m.state = StateSleeping
+	m.nextWake = startDays
+	m.lastWake = startDays
+}
+
+// Advance moves simulated time forward to nowDays, executing every due
+// wakeup slot and returning their results in order. Sleep energy is
+// charged for the elapsed time; a mote whose battery empties transitions
+// to StateDead and stops producing.
+func (m *Mote) Advance(nowDays float64) []Wakeup {
+	if m.state == StateBooting || m.state == StateDead {
+		return nil
+	}
+	var out []Wakeup
+	for m.nextWake <= nowDays {
+		at := m.nextWake
+		// Sleep energy since the previous slot.
+		sleepJ := m.cfg.Energy.SleepW * (at - m.lastWake) * 86400
+		m.battery -= sleepJ
+		if m.battery <= 0 {
+			m.state = StateDead
+			return out
+		}
+		m.state = StateActive
+		w := Wakeup{MoteID: m.cfg.ID, AtDays: at}
+		em, err := m.cfg.Energy.MeasurementEnergy(m.sensor.SampleRateHz())
+		if err == nil && m.battery >= em {
+			m.battery -= em
+			w.Measurement = m.sensor.Measure(m.source, at, m.cfg.SamplesPerMeasurement)
+			w.Heartbeat = true
+			w.EnergyJ = sleepJ + em
+			m.produced++
+		} else {
+			// Not enough charge for a full slot: the mote dies without
+			// completing the heartbeat.
+			m.battery = 0
+			m.state = StateDead
+			w.EnergyJ = sleepJ
+			out = append(out, w)
+			return out
+		}
+		out = append(out, w)
+		m.lastWake = at
+		m.nextWake = at + m.cfg.ReportPeriodHours/24
+		m.state = StateSleeping
+	}
+	return out
+}
+
+// AdaptiveScheduler implements the paper's future-work proposal of
+// dynamic sampling: the report period stretches while the equipment is
+// confidently healthy and tightens as it approaches the danger zone, so
+// battery is spent where decisions are hard.
+type AdaptiveScheduler struct {
+	// BaseHours is the nominal report period.
+	BaseHours float64
+	// HealthyFactor stretches the period in Zone A (default 3).
+	HealthyFactor float64
+	// CriticalFactor shrinks the period in Zone D (default 0.5).
+	CriticalFactor float64
+}
+
+// Period returns the report period (hours) for the given severity
+// bucket: 0 = healthy (Zone A), 1 = watch (Zone B/C), 2 = critical
+// (Zone D).
+func (a AdaptiveScheduler) Period(severity int) float64 {
+	base := a.BaseHours
+	if base <= 0 {
+		base = 10
+	}
+	hf := a.HealthyFactor
+	if hf <= 0 {
+		hf = 3
+	}
+	cf := a.CriticalFactor
+	if cf <= 0 {
+		cf = 0.5
+	}
+	switch {
+	case severity <= 0:
+		return base * hf
+	case severity >= 2:
+		return base * cf
+	default:
+		return base
+	}
+}

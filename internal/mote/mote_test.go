@@ -1,0 +1,182 @@
+package mote
+
+import (
+	"math"
+	"testing"
+
+	"vibepm/internal/mems"
+	"vibepm/internal/physics"
+)
+
+func newTestMote(t *testing.T, cfg Config) (*Mote, *physics.Pump) {
+	t.Helper()
+	pump := physics.NewPump(physics.PumpConfig{ID: cfg.ID, Seed: int64(cfg.ID) + 100})
+	sensor, err := mems.New(mems.Config{Seed: int64(cfg.ID) + 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, sensor, pump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pump
+}
+
+func TestNewValidation(t *testing.T) {
+	pump := physics.NewPump(physics.PumpConfig{Seed: 1})
+	sensor, _ := mems.New(mems.Config{Seed: 1})
+	if _, err := New(Config{}, sensor, pump); err == nil {
+		t.Fatal("want error for missing report period")
+	}
+}
+
+func TestBootAndAdvanceProducesMeasurements(t *testing.T) {
+	m, _ := newTestMote(t, Config{ID: 1, ReportPeriodHours: 12, SamplesPerMeasurement: 256})
+	if m.State() != StateBooting {
+		t.Fatalf("initial state %v", m.State())
+	}
+	// Before boot, Advance is a no-op.
+	if got := m.Advance(10); got != nil {
+		t.Fatal("unbooted mote produced wakeups")
+	}
+	m.Boot(0)
+	if m.State() != StateSleeping {
+		t.Fatalf("state after boot %v", m.State())
+	}
+	wakeups := m.Advance(2) // 2 days at 12 h period → 5 slots (0, .5, 1, 1.5, 2)
+	if len(wakeups) != 5 {
+		t.Fatalf("got %d wakeups, want 5", len(wakeups))
+	}
+	for i, w := range wakeups {
+		if w.Measurement == nil || !w.Heartbeat {
+			t.Fatalf("wakeup %d incomplete: %+v", i, w)
+		}
+		if w.MoteID != 1 {
+			t.Fatalf("mote id %d", w.MoteID)
+		}
+		if len(w.Measurement.Raw[0]) != 256 {
+			t.Fatalf("samples %d", len(w.Measurement.Raw[0]))
+		}
+		if w.EnergyJ <= 0 {
+			t.Fatal("wakeup consumed no energy")
+		}
+	}
+	if m.Produced() != 5 {
+		t.Fatalf("produced %d", m.Produced())
+	}
+	if !almostEq(m.NextWakeDays(), 2.5) {
+		t.Fatalf("next wake %.3f", m.NextWakeDays())
+	}
+}
+
+func TestAdvanceIdempotentBetweenSlots(t *testing.T) {
+	m, _ := newTestMote(t, Config{ID: 2, ReportPeriodHours: 24, SamplesPerMeasurement: 128})
+	m.Boot(0)
+	first := m.Advance(0.5)
+	if len(first) != 1 {
+		t.Fatalf("wakeups %d", len(first))
+	}
+	if again := m.Advance(0.9); len(again) != 0 {
+		t.Fatal("no slot was due, but wakeups were produced")
+	}
+}
+
+func TestBatteryDepletionKillsMote(t *testing.T) {
+	// A tiny battery: dies after a few measurements.
+	e := EnergyModel{BatteryJ: 0.1, SleepW: 1e-6, ActiveW: 0.066, RadioJ: 0.034, SamplesPerMeasurement: 1024}
+	m, _ := newTestMote(t, Config{ID: 3, ReportPeriodHours: 1, Energy: e, SamplesPerMeasurement: 64})
+	m.Boot(0)
+	wakeups := m.Advance(30)
+	if m.State() != StateDead {
+		t.Fatalf("state %v, want dead", m.State())
+	}
+	if len(wakeups) == 0 {
+		t.Fatal("mote died without any wakeup")
+	}
+	last := wakeups[len(wakeups)-1]
+	if last.Heartbeat {
+		t.Fatal("dying mote must miss its heartbeat")
+	}
+	if m.BatteryJ() > 0 {
+		t.Fatalf("battery %g after death", m.BatteryJ())
+	}
+	// A dead mote stays dead.
+	if got := m.Advance(60); got != nil {
+		t.Fatal("dead mote produced wakeups")
+	}
+	m.Boot(100)
+	if m.State() != StateDead {
+		t.Fatal("boot must not resurrect a dead mote")
+	}
+}
+
+func TestSetReportPeriod(t *testing.T) {
+	m, _ := newTestMote(t, Config{ID: 4, ReportPeriodHours: 12, SamplesPerMeasurement: 64})
+	m.Boot(0)
+	m.Advance(0) // first slot at day 0
+	if err := m.SetReportPeriod(48); err != nil {
+		t.Fatal(err)
+	}
+	if m.ReportPeriodHours() != 48 {
+		t.Fatal("period not updated")
+	}
+	w := m.Advance(3)
+	// Next slot was already scheduled at +12h = day 0.5 under the old
+	// period; the ones after use 48 h: 0.5, 2.5.
+	if len(w) != 2 {
+		t.Fatalf("wakeups %d, want 2", len(w))
+	}
+	if err := m.SetReportPeriod(0); err == nil {
+		t.Fatal("want error for zero period")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateBooting: "booting", StateSleeping: "sleeping",
+		StateActive: "active", StateDead: "dead", State(9): "State(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestAdaptiveSchedulerPeriods(t *testing.T) {
+	a := AdaptiveScheduler{BaseHours: 10}
+	healthy := a.Period(0)
+	watch := a.Period(1)
+	critical := a.Period(2)
+	if !(healthy > watch && watch > critical) {
+		t.Fatalf("periods not ordered: %g %g %g", healthy, watch, critical)
+	}
+	if watch != 10 {
+		t.Fatalf("watch period %g", watch)
+	}
+	if healthy != 30 || critical != 5 {
+		t.Fatalf("default factors: %g %g", healthy, critical)
+	}
+	// Defaults for the zero value.
+	z := AdaptiveScheduler{}
+	if z.Period(1) != 10 {
+		t.Fatalf("zero-value base %g", z.Period(1))
+	}
+}
+
+func TestAdaptiveSchedulingExtendsLifetime(t *testing.T) {
+	// A mote spending most of its life in Zone A with the adaptive
+	// scheduler must outlive a fixed-schedule mote.
+	e := DefaultEnergyModel()
+	fixed, _ := e.LifetimeForSchedule(4000, 10)
+	// Healthy 70% of the time at 30 h, watch 25% at 10 h, critical 5%
+	// at 5 h → average energy per hour drops.
+	a := AdaptiveScheduler{BaseHours: 10}
+	em, _ := e.MeasurementEnergy(4000)
+	avgPerHour := 0.7*em/a.Period(0) + 0.25*em/a.Period(1) + 0.05*em/a.Period(2)
+	adaptiveLifeYears := e.BatteryJ / (e.SleepW*3600 + avgPerHour) / (365 * 24)
+	if adaptiveLifeYears <= fixed {
+		t.Fatalf("adaptive %.2f y should beat fixed %.2f y", adaptiveLifeYears, fixed)
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

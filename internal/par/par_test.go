@@ -1,0 +1,70 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]atomic.Int32
+	ForEach(n, 8, func(i int) {
+		hits[i].Add(1)
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+	ForEach(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for negative n")
+	}
+	// workers <= 0 defaults; workers > n clamps; single worker runs
+	// sequentially.
+	var count atomic.Int32
+	ForEach(3, 0, func(int) { count.Add(1) })
+	ForEach(3, 100, func(int) { count.Add(1) })
+	ForEach(3, 1, func(int) { count.Add(1) })
+	if count.Load() != 9 {
+		t.Fatalf("calls %d", count.Load())
+	}
+}
+
+func TestMapOrderIndependentOfScheduling(t *testing.T) {
+	got := Map(100, 7, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d = %d", i, v)
+		}
+	}
+	if len(Map(0, 4, func(i int) int { return i })) != 0 {
+		t.Fatal("empty map")
+	}
+}
+
+func TestMapMatchesSequentialProperty(t *testing.T) {
+	f := func(seed uint16, workers uint8) bool {
+		n := int(seed % 257)
+		w := int(workers%16) + 1
+		par := Map(n, w, func(i int) int { return 3*i + 1 })
+		for i, v := range par {
+			if v != 3*i+1 {
+				return false
+			}
+		}
+		return len(par) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package physics simulates the vibration source the paper measured in
+// the fab: vacuum pumps whose rotating motors emit a harmonic vibration
+// spectrum that evolves as the pump ages. It substitutes for the
+// proprietary plant: the same degradation phenomenology (growing
+// high-frequency content, bearing-defect tones, amplitude fluctuation,
+// zone-dependent spectra, two distinct lifetime models, PM/BM
+// maintenance events, FICS temperature) drives the identical analysis
+// code paths.
+package physics
+
+import "fmt"
+
+// Zone is the equipment health category of the paper's §III-B, the
+// label set C = {C1..C4} contributed by the fab's domain experts
+// (aligned with ISO 10816 vibration-severity zones).
+type Zone int
+
+const (
+	// ZoneUnknown means no label is available.
+	ZoneUnknown Zone = iota
+	// ZoneA (C1): vibration of newly commissioned machines.
+	ZoneA
+	// ZoneB (C2): acceptable for unrestricted long-term operation.
+	ZoneB
+	// ZoneC (C3): unsatisfactory for long-term continuous operation.
+	ZoneC
+	// ZoneD (C4): vibration severe enough to damage the machine.
+	ZoneD
+)
+
+// String returns the conventional zone name.
+func (z Zone) String() string {
+	switch z {
+	case ZoneA:
+		return "Zone A"
+	case ZoneB:
+		return "Zone B"
+	case ZoneC:
+		return "Zone C"
+	case ZoneD:
+		return "Zone D"
+	default:
+		return fmt.Sprintf("Zone(%d)", int(z))
+	}
+}
+
+// Merged collapses B and C into the combined BC label the paper uses
+// during evaluation ("we do not distinguish between Zone B and C").
+func (z Zone) Merged() MergedZone {
+	switch z {
+	case ZoneA:
+		return MergedA
+	case ZoneB, ZoneC:
+		return MergedBC
+	case ZoneD:
+		return MergedD
+	default:
+		return MergedUnknown
+	}
+}
+
+// MergedZone is the 3-way label set actually used in the evaluation:
+// A, BC, D.
+type MergedZone int
+
+const (
+	// MergedUnknown means no label.
+	MergedUnknown MergedZone = iota
+	// MergedA is Zone A.
+	MergedA
+	// MergedBC combines Zone B and Zone C.
+	MergedBC
+	// MergedD is Zone D.
+	MergedD
+)
+
+// String returns the merged label name.
+func (m MergedZone) String() string {
+	switch m {
+	case MergedA:
+		return "Zone A"
+	case MergedBC:
+		return "Zone BC"
+	case MergedD:
+		return "Zone D"
+	default:
+		return fmt.Sprintf("MergedZone(%d)", int(m))
+	}
+}
+
+// MergedZones lists the three evaluation labels in severity order.
+var MergedZones = []MergedZone{MergedA, MergedBC, MergedD}
+
+// Degradation thresholds mapping the latent wear level d ∈ [0, 1+] to
+// zones. They are part of the simulator's ground truth.
+const (
+	// DegradationB is the A→B boundary.
+	DegradationB = 0.25
+	// DegradationC is the B→C boundary.
+	DegradationC = 0.45
+	// DegradationD is the C→D boundary: beyond this the pump is in the
+	// near-hazard condition requiring immediate action.
+	DegradationD = 0.70
+)
+
+// ZoneForDegradation maps a wear level to its ground-truth zone.
+func ZoneForDegradation(d float64) Zone {
+	switch {
+	case d < DegradationB:
+		return ZoneA
+	case d < DegradationC:
+		return ZoneB
+	case d < DegradationD:
+		return ZoneC
+	default:
+		return ZoneD
+	}
+}
+
+// ISO 10816-style velocity severity boundaries (mm/s RMS) for a
+// Class II machine (medium machines on rigid foundations — the vacuum
+// pump class). They ground the simulator's abstract wear zones in the
+// physical severity chart practitioners use.
+const (
+	// VelocityBoundaryB is the good/acceptable (A→B) boundary.
+	VelocityBoundaryB = 1.12
+	// VelocityBoundaryC is the acceptable/unsatisfactory (B→C) boundary.
+	VelocityBoundaryC = 2.8
+	// VelocityBoundaryD is the unsatisfactory/unacceptable (C→D)
+	// boundary.
+	VelocityBoundaryD = 7.1
+)
+
+// ZoneForVelocity maps a broadband vibration velocity (mm/s RMS, 10 Hz
+// to 1 kHz band) to the ISO severity zone.
+func ZoneForVelocity(mmps float64) Zone {
+	switch {
+	case mmps < VelocityBoundaryB:
+		return ZoneA
+	case mmps < VelocityBoundaryC:
+		return ZoneB
+	case mmps < VelocityBoundaryD:
+		return ZoneC
+	default:
+		return ZoneD
+	}
+}

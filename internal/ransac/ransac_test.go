@@ -1,0 +1,203 @@
+package ransac
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// noisyLine generates n points on y = slope·x + intercept with Gaussian
+// noise, over x ∈ [0, xmax).
+func noisyLine(rng *rand.Rand, slope, intercept, noise, xmax float64, n int) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * xmax
+		ys[i] = slope*xs[i] + intercept + rng.NormFloat64()*noise
+	}
+	return xs, ys
+}
+
+func TestFitCleanLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := noisyLine(rng, 2, 1, 0.01, 10, 100)
+	m, err := Fit(x, y, Config{InlierThreshold: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Slope-2) > 0.02 || math.Abs(m.Intercept-1) > 0.1 {
+		t.Fatalf("fit %.3f x + %.3f", m.Slope, m.Intercept)
+	}
+	if len(m.Inliers) < 95 {
+		t.Fatalf("only %d inliers", len(m.Inliers))
+	}
+	if m.R2 < 0.99 {
+		t.Fatalf("R² = %.4f", m.R2)
+	}
+}
+
+func TestFitWithOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := noisyLine(rng, 1.5, 0, 0.05, 10, 80)
+	// 20 gross outliers.
+	for i := 0; i < 20; i++ {
+		x = append(x, rng.Float64()*10)
+		y = append(y, 20+rng.Float64()*10)
+	}
+	m, err := Fit(x, y, Config{InlierThreshold: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Slope-1.5) > 0.05 {
+		t.Fatalf("slope %.3f corrupted by outliers", m.Slope)
+	}
+	for _, idx := range m.Inliers {
+		if idx >= 80 {
+			t.Fatalf("outlier %d accepted as inlier", idx)
+		}
+	}
+}
+
+func TestFitSlopeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// A decreasing trend: with MinSlope > 0 no model must be found.
+	x, y := noisyLine(rng, -1, 5, 0.05, 10, 100)
+	_, err := Fit(x, y, Config{InlierThreshold: 0.2, MinSlope: 1e-6, MinInliers: 20, Seed: 4})
+	if !errors.Is(err, ErrNoModel) {
+		t.Fatalf("err = %v, want ErrNoModel", err)
+	}
+	// Without the bound it fits fine.
+	m, err := Fit(x, y, Config{InlierThreshold: 0.2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slope >= 0 {
+		t.Fatalf("slope %.3f should be negative", m.Slope)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}, Config{InlierThreshold: 1}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}, Config{}); !errors.Is(err, ErrThreshold) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}, Config{InlierThreshold: 1}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	// All x identical: no valid minimal sample exists.
+	if _, err := Fit([]float64{3, 3, 3}, []float64{1, 2, 3}, Config{InlierThreshold: 1}); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFitEvalRoundtrip(t *testing.T) {
+	l := Line{Slope: 2, Intercept: -1}
+	if got := l.Eval(3); got != 5 {
+		t.Fatalf("Eval = %g", got)
+	}
+}
+
+func TestRecursiveTwoLifetimeModels(t *testing.T) {
+	// The Fig. 15 scenario: two populations ageing at different rates
+	// (Model II slope ≈ 3× Model I), plus maintenance-event outliers.
+	rng := rand.New(rand.NewSource(5))
+	x1, y1 := noisyLine(rng, 0.0004, 0.02, 0.004, 500, 400) // long-term model
+	x2, y2 := noisyLine(rng, 0.0012, 0.02, 0.004, 170, 400) // short-term model
+	x := append(append([]float64{}, x1...), x2...)
+	y := append(append([]float64{}, y1...), y2...)
+	// Maintenance outliers scattered high.
+	for i := 0; i < 60; i++ {
+		x = append(x, rng.Float64()*500)
+		y = append(y, 0.4+rng.Float64()*0.3)
+	}
+	models, err := Recursive(x, y, Config{
+		InlierThreshold: 0.02,
+		MinSlope:        1e-5,
+		Iterations:      2000,
+		MinInliers:      100,
+		Seed:            11,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("found %d models, want 2", len(models))
+	}
+	slopes := []float64{models[0].Slope, models[1].Slope}
+	lo, hi := math.Min(slopes[0], slopes[1]), math.Max(slopes[0], slopes[1])
+	if math.Abs(lo-0.0004) > 2e-4 || math.Abs(hi-0.0012) > 3e-4 {
+		t.Fatalf("slopes %.5f %.5f, want ≈0.0004 and ≈0.0012", lo, hi)
+	}
+	ratio := hi / lo
+	if ratio < 2 || ratio > 4.5 {
+		t.Fatalf("slope ratio %.2f, want ≈3", ratio)
+	}
+}
+
+func TestRecursiveInlierIndicesRemapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := noisyLine(rng, 1, 0, 0.01, 10, 50)
+	models, err := Recursive(x, y, Config{InlierThreshold: 0.1, Seed: 1, MinInliers: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range models[0].Inliers {
+		if idx < 0 || idx >= len(x) {
+			t.Fatalf("inlier index %d out of range", idx)
+		}
+		if math.Abs(y[idx]-models[0].Eval(x[idx])) > 0.1 {
+			t.Fatalf("index %d is not actually an inlier", idx)
+		}
+	}
+}
+
+func TestRecursiveMaxModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x1, y1 := noisyLine(rng, 1, 0, 0.01, 10, 100)
+	x2, y2 := noisyLine(rng, 1, 5, 0.01, 10, 100)
+	x := append(x1, x2...)
+	y := append(y1, y2...)
+	models, err := Recursive(x, y, Config{InlierThreshold: 0.1, MinInliers: 50, Seed: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 {
+		t.Fatalf("maxModels=1 returned %d models", len(models))
+	}
+}
+
+func TestRecursiveNoModel(t *testing.T) {
+	if _, err := Recursive([]float64{1, 2}, []float64{1, 2}, Config{}, 0); !errors.Is(err, ErrThreshold) {
+		t.Fatalf("err = %v", err)
+	}
+	// Pure noise with a tight threshold and large support requirement.
+	rng := rand.New(rand.NewSource(8))
+	x := make([]float64, 40)
+	y := make([]float64, 40)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+		y[i] = rng.Float64() * 100
+	}
+	if _, err := Recursive(x, y, Config{InlierThreshold: 0.001, MinInliers: 30, Seed: 9}, 0); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFitDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x, y := noisyLine(rng, 2, 0, 0.3, 10, 200)
+	a, err := Fit(x, y, Config{InlierThreshold: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(x, y, Config{InlierThreshold: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slope != b.Slope || a.Intercept != b.Intercept {
+		t.Fatal("same seed produced different models")
+	}
+}

@@ -1,0 +1,115 @@
+package restapi
+
+import (
+	"net/http"
+	"sync"
+
+	"vibepm"
+)
+
+// Analysis serves the derived results of a fitted engine — zone
+// classification, the decision boundary, RUL projections, and the fleet
+// report — on top of the raw data retrieval API.
+type Analysis struct {
+	eng   *vibepm.Engine
+	ageOf vibepm.AgeFunc
+	mux   *http.ServeMux
+	// Lifetime-model learning is expensive; do it at most once, lazily.
+	learnOnce sync.Once
+	learnErr  error
+}
+
+// NewAnalysis wraps a fitted engine. ageOf supplies equipment install
+// ages for RUL; nil limits the API to classification.
+func NewAnalysis(eng *vibepm.Engine, ageOf vibepm.AgeFunc) *Analysis {
+	a := &Analysis{eng: eng, ageOf: ageOf, mux: http.NewServeMux()}
+	a.mux.HandleFunc("GET /api/v1/analysis/boundary", a.handleBoundary)
+	a.mux.HandleFunc("GET /api/v1/analysis/pumps/{id}/zone", a.handleZone)
+	a.mux.HandleFunc("GET /api/v1/analysis/pumps/{id}/rul", a.handleRUL)
+	a.mux.HandleFunc("GET /api/v1/analysis/fleet", a.handleFleet)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *Analysis) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func (a *Analysis) handleBoundary(w http.ResponseWriter, _ *http.Request) {
+	b, err := a.eng.Boundary()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"boundary_da": b})
+}
+
+func (a *Analysis) handleZone(w http.ResponseWriter, r *http.Request) {
+	id, err := pumpID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad pump id")
+		return
+	}
+	rep, err := a.eng.Report(id, nil)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pump_id":      rep.PumpID,
+		"service_days": rep.ServiceDays,
+		"zone":         rep.Zone.String(),
+		"da":           rep.Da,
+		"probabilities": map[string]float64{
+			"A":  rep.Probabilities[vibepm.ZoneA],
+			"BC": rep.Probabilities[vibepm.ZoneBC],
+			"D":  rep.Probabilities[vibepm.ZoneD],
+		},
+	})
+}
+
+// ensureModels lazily learns the lifetime models once.
+func (a *Analysis) ensureModels() error {
+	a.learnOnce.Do(func() {
+		if _, err := a.eng.Models(); err == nil {
+			return
+		}
+		if a.ageOf == nil {
+			a.learnErr = vibepm.ErrNoRULModel
+			return
+		}
+		_, a.learnErr = a.eng.LearnLifetimeModels(a.ageOf)
+	})
+	return a.learnErr
+}
+
+func (a *Analysis) handleRUL(w http.ResponseWriter, r *http.Request) {
+	id, err := pumpID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad pump id")
+		return
+	}
+	if err := a.ensureModels(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	rul, modelIdx, err := a.eng.PredictRUL(id, a.ageOf)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pump_id": id, "rul_days": rul, "model": modelIdx + 1,
+	})
+}
+
+func (a *Analysis) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	var age vibepm.AgeFunc
+	if a.ensureModels() == nil {
+		age = a.ageOf
+	}
+	reports, err := a.eng.FleetReport(age)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fleet": reports})
+}

@@ -1,0 +1,142 @@
+package restapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vibepm"
+	"vibepm/internal/dataset"
+	"vibepm/internal/physics"
+)
+
+func fittedEngine(t *testing.T) (*vibepm.Engine, vibepm.AgeFunc) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Seed: 5, DurationDays: 60, MeasurementsPerDay: 0.5,
+		LabelCounts: map[physics.MergedZone]int{
+			physics.MergedA: 25, physics.MergedBC: 50, physics.MergedD: 25,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := vibepm.NewWithStores(vibepm.Options{}, ds.Measurements, ds.Labels)
+	for _, lr := range ds.LabelledRecords {
+		eng.Ingest(lr.Record)
+	}
+	if err := eng.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, func(pumpID int, serviceDays float64) float64 {
+		return ds.Fleet.Pump(pumpID).UnitAgeDays(serviceDays)
+	}
+}
+
+func getAnalysis(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("GET %s: bad JSON %q: %v", path, rec.Body.String(), err)
+	}
+	return rec, body
+}
+
+func TestAnalysisBoundaryAndZone(t *testing.T) {
+	eng, age := fittedEngine(t)
+	a := NewAnalysis(eng, age)
+	rec, body := getAnalysis(t, a, "/api/v1/analysis/boundary")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("boundary status %d", rec.Code)
+	}
+	if body["boundary_da"].(float64) <= 0 {
+		t.Fatalf("boundary %v", body)
+	}
+	rec, body = getAnalysis(t, a, "/api/v1/analysis/pumps/0/zone")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("zone status %d: %v", rec.Code, body)
+	}
+	if body["zone"].(string) == "" {
+		t.Fatal("zone missing")
+	}
+	probs := body["probabilities"].(map[string]any)
+	var sum float64
+	for _, p := range probs {
+		sum += p.(float64)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("probabilities sum %.3f", sum)
+	}
+	// Errors.
+	rec, _ = getAnalysis(t, a, "/api/v1/analysis/pumps/zzz/zone")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", rec.Code)
+	}
+	rec, _ = getAnalysis(t, a, "/api/v1/analysis/pumps/99/zone")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing pump status %d", rec.Code)
+	}
+}
+
+func TestAnalysisRUL(t *testing.T) {
+	eng, age := fittedEngine(t)
+	a := NewAnalysis(eng, age)
+	rec, body := getAnalysis(t, a, "/api/v1/analysis/pumps/2/rul")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rul status %d: %v", rec.Code, body)
+	}
+	if _, ok := body["rul_days"].(float64); !ok {
+		t.Fatalf("rul body %v", body)
+	}
+	if m := body["model"].(float64); m < 1 {
+		t.Fatalf("model %v", m)
+	}
+	// Second call reuses the learned models (sync.Once path).
+	rec, _ = getAnalysis(t, a, "/api/v1/analysis/pumps/3/rul")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second rul status %d", rec.Code)
+	}
+}
+
+func TestAnalysisRULWithoutAge(t *testing.T) {
+	eng, _ := fittedEngine(t)
+	a := NewAnalysis(eng, nil)
+	rec, _ := getAnalysis(t, a, "/api/v1/analysis/pumps/0/rul")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("rul without age func: status %d", rec.Code)
+	}
+}
+
+func TestAnalysisFleet(t *testing.T) {
+	eng, age := fittedEngine(t)
+	a := NewAnalysis(eng, age)
+	rec, body := getAnalysis(t, a, "/api/v1/analysis/fleet")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fleet status %d", rec.Code)
+	}
+	fleet := body["fleet"].([]any)
+	if len(fleet) != 12 {
+		t.Fatalf("fleet rows %d", len(fleet))
+	}
+	first := fleet[0].(map[string]any)
+	if _, ok := first["zone"]; !ok {
+		t.Fatalf("fleet row %v", first)
+	}
+}
+
+func TestAnalysisUnfittedEngine(t *testing.T) {
+	eng := vibepm.New(vibepm.Options{})
+	a := NewAnalysis(eng, nil)
+	rec, _ := getAnalysis(t, a, "/api/v1/analysis/boundary")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unfitted boundary status %d", rec.Code)
+	}
+	rec, _ = getAnalysis(t, a, "/api/v1/analysis/fleet")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unfitted fleet status %d", rec.Code)
+	}
+}

@@ -1,0 +1,83 @@
+package restapi
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+
+	"vibepm/internal/store"
+)
+
+// IngestRequest is the wire format for pushing one measurement into the
+// store: metadata plus the three axes as base64-encoded little-endian
+// int16 samples (the same quantized representation the sensor
+// produces).
+type IngestRequest struct {
+	PumpID       int     `json:"pump_id"`
+	ServiceDays  float64 `json:"service_days"`
+	SampleRateHz float64 `json:"sample_rate_hz"`
+	ScaleG       float64 `json:"scale_g"`
+	// X, Y, Z carry base64(little-endian int16 samples).
+	X string `json:"x"`
+	Y string `json:"y"`
+	Z string `json:"z"`
+}
+
+// decodeAxis unpacks one base64 axis payload.
+func decodeAxis(s string) ([]int16, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int16, len(raw)/2)
+	for i := range out {
+		out[i] = int16(binary.LittleEndian.Uint16(raw[2*i:]))
+	}
+	return out, nil
+}
+
+// EncodeAxis packs samples for an IngestRequest — the client-side
+// counterpart of the ingestion endpoint.
+func EncodeAxis(samples []int16) string {
+	raw := make([]byte, 2*len(samples))
+	for i, v := range samples {
+		binary.LittleEndian.PutUint16(raw[2*i:], uint16(v))
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad measurement: %v", err)
+		return
+	}
+	if req.SampleRateHz <= 0 || req.ScaleG <= 0 {
+		writeErr(w, http.StatusBadRequest, "sample_rate_hz and scale_g must be positive")
+		return
+	}
+	rec := &store.Record{
+		PumpID:       req.PumpID,
+		ServiceDays:  req.ServiceDays,
+		SampleRateHz: req.SampleRateHz,
+		ScaleG:       req.ScaleG,
+	}
+	for axis, payload := range []string{req.X, req.Y, req.Z} {
+		samples, err := decodeAxis(payload)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "axis %d: %v", axis, err)
+			return
+		}
+		rec.Raw[axis] = samples
+	}
+	k := rec.Samples()
+	if k == 0 || len(rec.Raw[1]) != k || len(rec.Raw[2]) != k {
+		writeErr(w, http.StatusBadRequest, "axes must be non-empty and equal length")
+		return
+	}
+	s.measurements.Add(rec)
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"pump_id": rec.PumpID, "service_days": rec.ServiceDays, "samples": k,
+	})
+}

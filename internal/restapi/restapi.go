@@ -1,0 +1,191 @@
+// Package restapi is the data retrieval layer of the paper's Fig. 7
+// architecture: a RESTful JSON API that the transformation and analysis
+// layers (or external dashboards) use to pull measurements, labels, and
+// the current analysis period from the databases.
+package restapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"vibepm/internal/store"
+	"vibepm/internal/transform"
+)
+
+// Server wires the stores into an http.Handler.
+type Server struct {
+	measurements *store.Measurements
+	labels       *store.Labels
+	periods      *store.PeriodManager
+	mux          *http.ServeMux
+}
+
+// New builds the API server. labels and periods may be nil, disabling
+// the corresponding endpoints.
+func New(m *store.Measurements, l *store.Labels, p *store.PeriodManager) *Server {
+	s := &Server{measurements: m, labels: l, periods: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/v1/pumps", s.handlePumps)
+	s.mux.HandleFunc("GET /api/v1/pumps/{id}/measurements", s.handleMeasurements)
+	s.mux.HandleFunc("POST /api/v1/measurements", s.handleIngest)
+	s.mux.HandleFunc("GET /api/v1/pumps/{id}/psd", s.handlePSD)
+	s.mux.HandleFunc("GET /api/v1/labels", s.handleLabels)
+	s.mux.HandleFunc("GET /api/v1/period", s.handleGetPeriod)
+	s.mux.HandleFunc("PUT /api/v1/period", s.handlePutPeriod)
+	s.mux.HandleFunc("GET /api/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePumps(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"pumps": s.measurements.Pumps()})
+}
+
+// parseRange extracts the from/to query bounds, defaulting to the
+// current analysis period (or everything when no period manager is
+// configured).
+func (s *Server) parseRange(r *http.Request) (from, to float64, err error) {
+	from, to = 0, 1e18
+	if s.periods != nil {
+		p := s.periods.Current()
+		from, to = p.StartDays, p.EndDays
+	}
+	if v := r.URL.Query().Get("from"); v != "" {
+		from, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad from: %w", err)
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		to, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad to: %w", err)
+		}
+	}
+	return from, to, nil
+}
+
+func pumpID(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+// MeasurementMeta is the wire representation of one measurement. Raw
+// samples ride along only when raw=1 is requested.
+type MeasurementMeta struct {
+	PumpID       int        `json:"pump_id"`
+	ServiceDays  float64    `json:"service_days"`
+	SampleRateHz float64    `json:"sample_rate_hz"`
+	Samples      int        `json:"samples"`
+	RMS          float64    `json:"rms_g"`
+	Raw          [][]int16  `json:"raw,omitempty"`
+	Offsets      [3]float64 `json:"offsets_g"`
+}
+
+func (s *Server) handleMeasurements(w http.ResponseWriter, r *http.Request) {
+	id, err := pumpID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad pump id")
+		return
+	}
+	from, to, err := s.parseRange(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	includeRaw := r.URL.Query().Get("raw") == "1"
+	recs := s.measurements.Query(id, from, to)
+	out := make([]MeasurementMeta, 0, len(recs))
+	for _, rec := range recs {
+		_, offsets := transform.Acceleration(rec)
+		meta := MeasurementMeta{
+			PumpID:       rec.PumpID,
+			ServiceDays:  rec.ServiceDays,
+			SampleRateHz: rec.SampleRateHz,
+			Samples:      rec.Samples(),
+			RMS:          transform.RMS(rec),
+			Offsets:      offsets,
+		}
+		if includeRaw {
+			meta.Raw = [][]int16{rec.Raw[0], rec.Raw[1], rec.Raw[2]}
+		}
+		out = append(out, meta)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"measurements": out})
+}
+
+// PSDResponse carries one measurement's combined PSD feature.
+type PSDResponse struct {
+	ServiceDays float64   `json:"service_days"`
+	Freq        []float64 `json:"freq_hz"`
+	PSD         []float64 `json:"psd_g2_per_hz"`
+}
+
+func (s *Server) handlePSD(w http.ResponseWriter, r *http.Request) {
+	id, err := pumpID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad pump id")
+		return
+	}
+	from, to, err := s.parseRange(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	recs := s.measurements.Query(id, from, to)
+	if len(recs) == 0 {
+		writeErr(w, http.StatusNotFound, "no measurements for pump %d in range", id)
+		return
+	}
+	// Most recent in range.
+	rec := recs[len(recs)-1]
+	freq, psd := transform.PSD(rec)
+	writeJSON(w, http.StatusOK, PSDResponse{ServiceDays: rec.ServiceDays, Freq: freq, PSD: psd})
+}
+
+func (s *Server) handleLabels(w http.ResponseWriter, _ *http.Request) {
+	if s.labels == nil {
+		writeErr(w, http.StatusNotFound, "label store not configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"labels": s.labels.Valid()})
+}
+
+func (s *Server) handleGetPeriod(w http.ResponseWriter, _ *http.Request) {
+	if s.periods == nil {
+		writeErr(w, http.StatusNotFound, "period manager not configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.periods.Current())
+}
+
+func (s *Server) handlePutPeriod(w http.ResponseWriter, r *http.Request) {
+	if s.periods == nil {
+		writeErr(w, http.StatusNotFound, "period manager not configured")
+		return
+	}
+	var p store.AnalysisPeriod
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad period: %v", err)
+		return
+	}
+	if err := s.periods.Pin(p); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}

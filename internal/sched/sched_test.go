@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func reqs(n int, slot, minPeriod float64) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{MoteID: i, SlotSeconds: slot, MinPeriodSeconds: minPeriod}
+	}
+	return out
+}
+
+func slotMap(rs []Request) map[int]float64 {
+	m := map[int]float64{}
+	for _, r := range rs {
+		m[r.MoteID] = r.SlotSeconds
+	}
+	return m
+}
+
+func TestBuildBasic(t *testing.T) {
+	rs := reqs(5, 10, 3600)
+	s, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FrameSeconds != 3600 {
+		t.Fatalf("frame %g", s.FrameSeconds)
+	}
+	if len(s.Assignments) != 5 {
+		t.Fatalf("assignments %d", len(s.Assignments))
+	}
+	if got := Collisions(s, slotMap(rs)); got != 0 {
+		t.Fatalf("collisions %d", got)
+	}
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		t.Fatalf("utilization %g", s.Utilization)
+	}
+	// All periods honor the minimum.
+	for _, a := range s.Assignments {
+		if a.PeriodSeconds < 3600 {
+			t.Fatalf("mote %d period %g below minimum", a.MoteID, a.PeriodSeconds)
+		}
+	}
+}
+
+func TestBuildStretchesSaturatedFrame(t *testing.T) {
+	// 100 motes × 60 s slots > 3600 s frame: the frame stretches so the
+	// schedule stays collision-free (periods exceed minimums, which is
+	// allowed).
+	rs := reqs(100, 60, 3600)
+	s, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FrameSeconds < 6000 {
+		t.Fatalf("frame %g did not stretch", s.FrameSeconds)
+	}
+	if got := Collisions(s, slotMap(rs)); got != 0 {
+		t.Fatalf("collisions %d", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); !errors.Is(err, ErrNoRequests) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Build([]Request{{MoteID: 0, SlotSeconds: 0, MinPeriodSeconds: 10}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildHarmonicMixedPeriods(t *testing.T) {
+	// One fast mote (1 h minimum) and three slow ones (≥7 h): the
+	// harmonic schedule reports the fast mote every hour and the slow
+	// ones every 8 h, beating the common-frame schedule's information
+	// rate.
+	rs := []Request{
+		{MoteID: 0, SlotSeconds: 30, MinPeriodSeconds: 3600},
+		{MoteID: 1, SlotSeconds: 30, MinPeriodSeconds: 7 * 3600},
+		{MoteID: 2, SlotSeconds: 30, MinPeriodSeconds: 7 * 3600},
+		{MoteID: 3, SlotSeconds: 30, MinPeriodSeconds: 7 * 3600},
+	}
+	harmonic, err := BuildHarmonic(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	common, err := Build(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Collisions(harmonic, slotMap(rs)); got != 0 {
+		t.Fatalf("harmonic collisions %d", got)
+	}
+	if MeasurementsPerDay(harmonic) <= MeasurementsPerDay(common) {
+		t.Fatalf("harmonic %.1f/day should beat common %.1f/day",
+			MeasurementsPerDay(harmonic), MeasurementsPerDay(common))
+	}
+	// Period structure: mote 0 at the base frame, others at 8× (the
+	// smallest power of two ≥ 7 h / 1 h).
+	for _, a := range harmonic.Assignments {
+		want := 3600.0
+		if a.MoteID != 0 {
+			want = 8 * 3600
+		}
+		if math.Abs(a.PeriodSeconds-want) > 1e-9 {
+			t.Fatalf("mote %d period %g, want %g", a.MoteID, a.PeriodSeconds, want)
+		}
+		if a.PeriodSeconds < rs[a.MoteID].MinPeriodSeconds {
+			t.Fatalf("mote %d below its minimum period", a.MoteID)
+		}
+	}
+}
+
+func TestBuildHarmonicInfeasible(t *testing.T) {
+	// Demand beyond the base frame must be rejected, not silently
+	// collide.
+	rs := []Request{
+		{MoteID: 0, SlotSeconds: 50, MinPeriodSeconds: 60},
+		{MoteID: 1, SlotSeconds: 50, MinPeriodSeconds: 60},
+	}
+	if _, err := BuildHarmonic(rs); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := BuildHarmonic(nil); !errors.Is(err, ErrNoRequests) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := BuildHarmonic([]Request{{MoteID: 0}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSchedulePropertyNoCollisions(t *testing.T) {
+	f := func(nSeed uint8, slotSeed, periodSeed uint16) bool {
+		n := int(nSeed%12) + 1
+		rs := make([]Request, n)
+		for i := range rs {
+			slot := 5 + float64((int(slotSeed)+i*7)%55)
+			period := 1800 + float64((int(periodSeed)+i*131)%7200)
+			rs[i] = Request{MoteID: i, SlotSeconds: slot, MinPeriodSeconds: period}
+		}
+		s, err := Build(rs)
+		if err != nil {
+			return false
+		}
+		if Collisions(s, slotMap(rs)) != 0 {
+			return false
+		}
+		// Harmonic may be infeasible for dense inputs; when it builds,
+		// it must also be collision-free and honor minimum periods.
+		h, err := BuildHarmonic(rs)
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if Collisions(h, slotMap(rs)) != 0 {
+			return false
+		}
+		for _, a := range h.Assignments {
+			if a.PeriodSeconds < rs[a.MoteID].MinPeriodSeconds-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasurementsPerDay(t *testing.T) {
+	s := &Schedule{
+		FrameSeconds: 3600,
+		Assignments: []Assignment{
+			{MoteID: 0, PeriodSeconds: 3600},
+			{MoteID: 1, PeriodSeconds: 7200},
+		},
+	}
+	if got := MeasurementsPerDay(s); math.Abs(got-36) > 1e-9 {
+		t.Fatalf("rate %g, want 36", got)
+	}
+}

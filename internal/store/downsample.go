@@ -1,0 +1,63 @@
+package store
+
+// SeriesPoint is one (service time, value) pair extracted from a
+// record series.
+type SeriesPoint struct {
+	ServiceDays float64
+	Value       float64
+}
+
+// ExtractSeries maps records to a scalar time series using fn.
+func ExtractSeries(recs []*Record, fn func(*Record) float64) []SeriesPoint {
+	out := make([]SeriesPoint, len(recs))
+	for i, r := range recs {
+		out[i] = SeriesPoint{ServiceDays: r.ServiceDays, Value: fn(r)}
+	}
+	return out
+}
+
+// DownsampleMinMax reduces a series to at most maxPoints while
+// preserving every local extreme the full series shows: the series is
+// split into buckets and each bucket contributes its minimum and
+// maximum (in time order). Plotting the result is visually
+// indistinguishable from plotting the full series, which is what the
+// GUI layer (paper Fig. 1's visualization component) needs for
+// month-long 10-minute-period traces.
+func DownsampleMinMax(series []SeriesPoint, maxPoints int) []SeriesPoint {
+	n := len(series)
+	if maxPoints <= 0 || n <= maxPoints {
+		out := make([]SeriesPoint, n)
+		copy(out, series)
+		return out
+	}
+	buckets := maxPoints / 2
+	if buckets < 1 {
+		buckets = 1
+	}
+	out := make([]SeriesPoint, 0, buckets*2)
+	for b := 0; b < buckets; b++ {
+		lo := b * n / buckets
+		hi := (b + 1) * n / buckets
+		if hi <= lo {
+			continue
+		}
+		minIdx, maxIdx := lo, lo
+		for i := lo; i < hi; i++ {
+			if series[i].Value < series[minIdx].Value {
+				minIdx = i
+			}
+			if series[i].Value > series[maxIdx].Value {
+				maxIdx = i
+			}
+		}
+		first, second := minIdx, maxIdx
+		if first > second {
+			first, second = second, first
+		}
+		out = append(out, series[first])
+		if second != first {
+			out = append(out, series[second])
+		}
+	}
+	return out
+}

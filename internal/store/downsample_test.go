@@ -1,0 +1,112 @@
+package store
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func seriesOf(values ...float64) []SeriesPoint {
+	out := make([]SeriesPoint, len(values))
+	for i, v := range values {
+		out[i] = SeriesPoint{ServiceDays: float64(i), Value: v}
+	}
+	return out
+}
+
+func TestExtractSeries(t *testing.T) {
+	recs := []*Record{
+		{ServiceDays: 1, ScaleG: 2, Raw: [3][]int16{{1}, {0}, {0}}},
+		{ServiceDays: 2, ScaleG: 2, Raw: [3][]int16{{3}, {0}, {0}}},
+	}
+	s := ExtractSeries(recs, func(r *Record) float64 { return float64(r.Raw[0][0]) * r.ScaleG })
+	if len(s) != 2 || s[0].Value != 2 || s[1].Value != 6 || s[1].ServiceDays != 2 {
+		t.Fatalf("series %+v", s)
+	}
+}
+
+func TestDownsamplePreservesExtremes(t *testing.T) {
+	// A long flat series with one spike and one dip: both must survive
+	// aggressive downsampling.
+	values := make([]float64, 1000)
+	values[333] = 100
+	values[777] = -50
+	series := seriesOf(values...)
+	down := DownsampleMinMax(series, 20)
+	if len(down) > 20 {
+		t.Fatalf("downsampled to %d > 20", len(down))
+	}
+	var sawSpike, sawDip bool
+	for _, p := range down {
+		if p.Value == 100 {
+			sawSpike = true
+		}
+		if p.Value == -50 {
+			sawDip = true
+		}
+	}
+	if !sawSpike || !sawDip {
+		t.Fatalf("extremes lost: spike=%v dip=%v", sawSpike, sawDip)
+	}
+	// Time order preserved.
+	for i := 1; i < len(down); i++ {
+		if down[i].ServiceDays < down[i-1].ServiceDays {
+			t.Fatal("downsample broke time order")
+		}
+	}
+}
+
+func TestDownsampleShortSeriesUnchanged(t *testing.T) {
+	series := seriesOf(1, 2, 3)
+	down := DownsampleMinMax(series, 10)
+	if len(down) != 3 {
+		t.Fatalf("short series resized to %d", len(down))
+	}
+	// The copy is independent.
+	down[0].Value = 99
+	if series[0].Value == 99 {
+		t.Fatal("downsample aliases its input")
+	}
+	if got := DownsampleMinMax(series, 0); len(got) != 3 {
+		t.Fatal("maxPoints<=0 should copy")
+	}
+	if got := DownsampleMinMax(nil, 5); len(got) != 0 {
+		t.Fatal("nil series")
+	}
+}
+
+func TestDownsampleGlobalExtremesProperty(t *testing.T) {
+	f := func(raw []byte, maxSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		series := make([]SeriesPoint, len(raw))
+		for i, b := range raw {
+			series[i] = SeriesPoint{ServiceDays: float64(i), Value: float64(b)}
+		}
+		maxPoints := 4 + int(maxSeed%60)
+		down := DownsampleMinMax(series, maxPoints)
+		if len(down) == 0 || len(down) > len(series) {
+			return false
+		}
+		// The global min and max always survive.
+		gmin, gmax := math.Inf(1), math.Inf(-1)
+		for _, p := range series {
+			gmin = math.Min(gmin, p.Value)
+			gmax = math.Max(gmax, p.Value)
+		}
+		var sawMin, sawMax bool
+		for _, p := range down {
+			if p.Value == gmin {
+				sawMin = true
+			}
+			if p.Value == gmax {
+				sawMax = true
+			}
+		}
+		return sawMin && sawMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Measurements is the embedded time-series store for vibration records,
+// indexed by pump and ordered by service time. It is safe for
+// concurrent use.
+type Measurements struct {
+	mu     sync.RWMutex
+	byPump map[int][]*Record
+	count  int
+}
+
+// NewMeasurements returns an empty store.
+func NewMeasurements() *Measurements {
+	return &Measurements{byPump: make(map[int][]*Record)}
+}
+
+// Add inserts a record, keeping the per-pump series ordered by service
+// time. The record is stored by reference; callers must not mutate it
+// afterwards.
+func (m *Measurements) Add(rec *Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	series := m.byPump[rec.PumpID]
+	i := sort.Search(len(series), func(i int) bool {
+		return series[i].ServiceDays > rec.ServiceDays
+	})
+	series = append(series, nil)
+	copy(series[i+1:], series[i:])
+	series[i] = rec
+	m.byPump[rec.PumpID] = series
+	m.count++
+}
+
+// Len returns the total number of stored records.
+func (m *Measurements) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.count
+}
+
+// Pumps lists the pump ids with at least one record, ascending.
+func (m *Measurements) Pumps() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ids := make([]int, 0, len(m.byPump))
+	for id := range m.byPump {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Query returns the records of one pump whose service time lies in
+// [fromDays, toDays], in time order. The returned slice is fresh; the
+// records are shared.
+func (m *Measurements) Query(pumpID int, fromDays, toDays float64) []*Record {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	series := m.byPump[pumpID]
+	lo := sort.Search(len(series), func(i int) bool {
+		return series[i].ServiceDays >= fromDays
+	})
+	hi := sort.Search(len(series), func(i int) bool {
+		return series[i].ServiceDays > toDays
+	})
+	out := make([]*Record, hi-lo)
+	copy(out, series[lo:hi])
+	return out
+}
+
+// QueryPeriod returns one pump's records inside the analysis period.
+func (m *Measurements) QueryPeriod(pumpID int, p AnalysisPeriod) []*Record {
+	return m.Query(pumpID, p.StartDays, p.EndDays)
+}
+
+// All returns every record of one pump in time order.
+func (m *Measurements) All(pumpID int) []*Record {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	series := m.byPump[pumpID]
+	out := make([]*Record, len(series))
+	copy(out, series)
+	return out
+}
+
+// Latest returns the most recent record of a pump, or nil.
+func (m *Measurements) Latest(pumpID int) *Record {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	series := m.byPump[pumpID]
+	if len(series) == 0 {
+		return nil
+	}
+	return series[len(series)-1]
+}
+
+// File format constants.
+var storeHeader = []byte("VPMSTORE1\n")
+
+// ErrBadHeader is returned when loading a file that is not a
+// measurement store.
+var ErrBadHeader = errors.New("store: bad store file header")
+
+// Save writes the entire store to w in the binary store format.
+func (m *Measurements) Save(w io.Writer) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(storeHeader); err != nil {
+		return err
+	}
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(m.count))
+	if _, err := bw.Write(count[:]); err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(m.byPump))
+	for id := range m.byPump {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		for _, rec := range m.byPump[id] {
+			if err := EncodeRecord(bw, rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a store previously written by Save, replacing the
+// receiver's contents.
+func (m *Measurements) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(storeHeader))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("store: read header: %w", err)
+	}
+	if string(hdr) != string(storeHeader) {
+		return ErrBadHeader
+	}
+	var countBuf [8]byte
+	if _, err := io.ReadFull(br, countBuf[:]); err != nil {
+		return fmt.Errorf("store: read count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(countBuf[:])
+	fresh := make(map[int][]*Record)
+	var loaded int
+	for i := uint64(0); i < n; i++ {
+		rec, err := DecodeRecord(br)
+		if err != nil {
+			return fmt.Errorf("store: record %d: %w", i, err)
+		}
+		fresh[rec.PumpID] = append(fresh[rec.PumpID], rec)
+		loaded++
+	}
+	for id := range fresh {
+		series := fresh[id]
+		sort.Slice(series, func(a, b int) bool {
+			return series[a].ServiceDays < series[b].ServiceDays
+		})
+	}
+	m.mu.Lock()
+	m.byPump = fresh
+	m.count = loaded
+	m.mu.Unlock()
+	return nil
+}
+
+// SaveFile writes the store to path, creating or truncating it.
+func (m *Measurements) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a store from path.
+func (m *Measurements) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Load(f)
+}

@@ -1,0 +1,125 @@
+// Package store is the measurement database of the analysis system
+// (the "sensor measurement database" and "factory database" boxes in
+// the paper's Fig. 1/7): an embedded, concurrency-safe time-series
+// store for raw vibration measurements, a label store for the human
+// expert annotations, and the analysis-period metadata that scopes
+// every query. Measurements persist in a compact binary format; labels
+// persist as JSON.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Record is one stored vibration measurement: the quantized 3-axis
+// readings plus the metadata needed to interpret them.
+type Record struct {
+	// PumpID identifies the monitored equipment (one sensor per
+	// equipment, so it also identifies the sensor).
+	PumpID int
+	// ServiceDays is the sensor service time of the capture, in days
+	// since the sensor was attached.
+	ServiceDays float64
+	// SampleRateHz is the sampling rate of the capture.
+	SampleRateHz float64
+	// ScaleG converts raw counts to g.
+	ScaleG float64
+	// Raw holds the quantized readings for the x, y, z axes.
+	Raw [3][]int16
+}
+
+// AxisG converts one axis to acceleration in g.
+func (r *Record) AxisG(axis int) []float64 {
+	out := make([]float64, len(r.Raw[axis]))
+	for i, v := range r.Raw[axis] {
+		out[i] = float64(v) * r.ScaleG
+	}
+	return out
+}
+
+// Samples returns K, the per-axis sample count.
+func (r *Record) Samples() int { return len(r.Raw[0]) }
+
+// Binary codec constants.
+const (
+	recordMagic   = uint32(0x56504d52) // "VPMR"
+	recordVersion = uint16(1)
+)
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("store: bad record magic")
+	ErrBadVersion = errors.New("store: unsupported record version")
+)
+
+// maxSamplesPerAxis bounds decoded allocations against corrupt input.
+const maxSamplesPerAxis = 1 << 20
+
+// EncodeRecord writes r in the binary record format.
+func EncodeRecord(w io.Writer, r *Record) error {
+	var hdr [30]byte
+	binary.LittleEndian.PutUint32(hdr[0:], recordMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], recordVersion)
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(r.PumpID))
+	binary.LittleEndian.PutUint64(hdr[10:], math.Float64bits(r.ServiceDays))
+	binary.LittleEndian.PutUint32(hdr[18:], math.Float32bits(float32(r.SampleRateHz)))
+	binary.LittleEndian.PutUint32(hdr[22:], math.Float32bits(float32(r.ScaleG)))
+	binary.LittleEndian.PutUint32(hdr[26:], uint32(len(r.Raw[0])))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: write header: %w", err)
+	}
+	k := len(r.Raw[0])
+	buf := make([]byte, 2*k)
+	for axis := 0; axis < 3; axis++ {
+		if len(r.Raw[axis]) != k {
+			return fmt.Errorf("store: axis %d has %d samples, want %d", axis, len(r.Raw[axis]), k)
+		}
+		for i, v := range r.Raw[axis] {
+			binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("store: write axis %d: %w", axis, err)
+		}
+	}
+	return nil
+}
+
+// DecodeRecord reads one record in the binary record format.
+func DecodeRecord(r io.Reader) (*Record, error) {
+	var hdr [30]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF signals a clean end of stream
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != recordMagic {
+		return nil, ErrBadMagic
+	}
+	if binary.LittleEndian.Uint16(hdr[4:]) != recordVersion {
+		return nil, ErrBadVersion
+	}
+	rec := &Record{
+		PumpID:       int(int32(binary.LittleEndian.Uint32(hdr[6:]))),
+		ServiceDays:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[10:])),
+		SampleRateHz: float64(math.Float32frombits(binary.LittleEndian.Uint32(hdr[18:]))),
+		ScaleG:       float64(math.Float32frombits(binary.LittleEndian.Uint32(hdr[22:]))),
+	}
+	k := int(binary.LittleEndian.Uint32(hdr[26:]))
+	if k < 0 || k > maxSamplesPerAxis {
+		return nil, fmt.Errorf("store: implausible sample count %d", k)
+	}
+	buf := make([]byte, 2*k)
+	for axis := 0; axis < 3; axis++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("store: read axis %d: %w", axis, err)
+		}
+		samples := make([]int16, k)
+		for i := range samples {
+			samples[i] = int16(binary.LittleEndian.Uint16(buf[2*i:]))
+		}
+		rec.Raw[axis] = samples
+	}
+	return rec, nil
+}

@@ -1,0 +1,133 @@
+// Package transform is the data transformation layer of the paper's
+// Fig. 7 architecture: it converts unitless raw sensor readings into
+// physical measurement data — acceleration in g, power spectral density
+// in g²/Hz, and the frequency axes needed to interpret spectral
+// features.
+package transform
+
+import (
+	"math"
+
+	"vibepm/internal/dsp"
+	"vibepm/internal/store"
+)
+
+// CountsToG converts raw ADC counts into acceleration in g.
+func CountsToG(raw []int16, scaleG float64) []float64 {
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i] = float64(v) * scaleG
+	}
+	return out
+}
+
+// Acceleration converts a stored record into normalized (demeaned)
+// per-axis acceleration in g, also returning the per-axis means — the
+// zero offsets whose stability the preprocessing layer monitors
+// (Fig. 8). Demeaning implements the paper's normalization
+// â = a − 1·ā, which removes the gravity bias and any sensor offset.
+func Acceleration(rec *store.Record) (axes [3][]float64, offsets [3]float64) {
+	for axis := 0; axis < 3; axis++ {
+		g := CountsToG(rec.Raw[axis], rec.ScaleG)
+		offsets[axis] = dsp.Mean(g)
+		axes[axis] = dsp.Demean(g)
+	}
+	return axes, offsets
+}
+
+// DCTFrequencies returns the frequency (Hz) of every DCT-II bin for a
+// K-sample measurement at sampling rate fs: bin k corresponds to
+// k·fs/(2K).
+func DCTFrequencies(fs float64, k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = float64(i) * fs / (2 * float64(k))
+	}
+	return out
+}
+
+// PSD computes the paper's combined PSD feature of a record:
+// s_mn = Σ_{l∈{x,y,z}} (âˡ·W_K)²/(2K), one value per DCT bin, plus the
+// matching frequency axis. This is the s_mn feature vector of §III-B.
+func PSD(rec *store.Record) (freq, psd []float64) {
+	axes, _ := Acceleration(rec)
+	k := rec.Samples()
+	psd = make([]float64, k)
+	for axis := 0; axis < 3; axis++ {
+		s := dsp.PSDDCT(axes[axis])
+		for i, v := range s {
+			psd[i] += v
+		}
+	}
+	return DCTFrequencies(rec.SampleRateHz, k), psd
+}
+
+// RMS computes the paper's combined RMS feature of a record:
+// r_mn = sqrt(Σ_l (rˡ_mn)²) with rˡ = ‖âˡ‖/√K, i.e. the root of the
+// summed per-axis vibration variances.
+func RMS(rec *store.Record) float64 {
+	axes, _ := Acceleration(rec)
+	var sum float64
+	for axis := 0; axis < 3; axis++ {
+		r := dsp.RMS(axes[axis])
+		sum += r * r
+	}
+	return math.Sqrt(sum)
+}
+
+// AmplitudeSpectrum converts the PSD feature into an amplitude spectrum
+// in g/√Hz for visualization (the unit of the paper's Fig. 9/10 plots).
+func AmplitudeSpectrum(psd []float64) []float64 {
+	out := make([]float64, len(psd))
+	for i, v := range psd {
+		if v > 0 {
+			out[i] = math.Sqrt(v)
+		}
+	}
+	return out
+}
+
+// gToMMS2 converts acceleration from g to mm/s².
+const gToMMS2 = 9806.65
+
+// VelocityPSD converts an acceleration PSD (g²/Hz on the freq axis)
+// into a velocity PSD ((mm/s)²/Hz) by dividing each bin by (2πf)² —
+// integration in the frequency domain. The DC bin has no velocity
+// meaning and is zeroed. Velocity is the quantity ISO 10816 severity
+// zones (the physical counterpart of the paper's Zone A–D labels) are
+// defined on.
+func VelocityPSD(freq, accelPSD []float64) []float64 {
+	out := make([]float64, len(accelPSD))
+	for i := range accelPSD {
+		if i >= len(freq) || freq[i] <= 0 {
+			continue
+		}
+		w := 2 * math.Pi * freq[i]
+		out[i] = accelPSD[i] * gToMMS2 * gToMMS2 / (w * w)
+	}
+	return out
+}
+
+// VelocityRMS returns the broadband vibration velocity of a record in
+// mm/s RMS, integrated over the band [loHz, hiHz] (pass 0, 0 for the
+// ISO-standard 10 Hz to 1 kHz band).
+func VelocityRMS(rec *store.Record, loHz, hiHz float64) float64 {
+	if loHz <= 0 {
+		loHz = 10
+	}
+	if hiHz <= 0 {
+		hiHz = 1000
+	}
+	freq, psd := PSD(rec)
+	vel := VelocityPSD(freq, psd)
+	var sum float64
+	for i := range vel {
+		if freq[i] >= loHz && freq[i] <= hiHz {
+			sum += vel[i]
+		}
+	}
+	// The DCT PSD feature is per-bin power (already summed per bin), so
+	// the band power is the plain sum; the paper's 1/(2K) scaling makes
+	// total power rms²/2, undo the factor of 2.
+	return math.Sqrt(2 * sum)
+}

@@ -1,0 +1,195 @@
+package transform
+
+import (
+	"math"
+	"testing"
+
+	"vibepm/internal/dsp"
+	"vibepm/internal/mems"
+	"vibepm/internal/physics"
+	"vibepm/internal/store"
+)
+
+func captureRecord(t *testing.T, pump *physics.Pump, day float64) *store.Record {
+	t.Helper()
+	sensor, err := mems.New(mems.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sensor.Measure(pump, day, 1024)
+	rec := &store.Record{
+		PumpID:       pump.ID(),
+		ServiceDays:  day,
+		SampleRateHz: m.SampleRateHz,
+		ScaleG:       m.ScaleG,
+	}
+	for axis := 0; axis < 3; axis++ {
+		rec.Raw[axis] = m.Raw[axis]
+	}
+	return rec
+}
+
+func TestCountsToG(t *testing.T) {
+	got := CountsToG([]int16{100, -200, 0}, 0.01)
+	want := []float64{1, -2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CountsToG = %v", got)
+		}
+	}
+}
+
+func TestAccelerationRemovesGravity(t *testing.T) {
+	pump := physics.NewPump(physics.PumpConfig{ID: 0, Seed: 1})
+	rec := captureRecord(t, pump, 1)
+	axes, offsets := Acceleration(rec)
+	// The z offset carries the 1 g bias; the demeaned z axis has zero
+	// mean.
+	if math.Abs(offsets[2]-1) > 0.05 {
+		t.Fatalf("z offset %.3f", offsets[2])
+	}
+	if math.Abs(dsp.Mean(axes[2])) > 1e-9 {
+		t.Fatalf("demeaned z mean %g", dsp.Mean(axes[2]))
+	}
+	if math.Abs(offsets[0]) > 0.05 {
+		t.Fatalf("x offset %.3f", offsets[0])
+	}
+}
+
+func TestDCTFrequencies(t *testing.T) {
+	f := DCTFrequencies(4096, 1024)
+	if len(f) != 1024 {
+		t.Fatalf("len = %d", len(f))
+	}
+	if f[0] != 0 {
+		t.Fatalf("f[0] = %g", f[0])
+	}
+	// Bin k → k·fs/(2K); the last bin approaches Nyquist.
+	if math.Abs(f[1]-2) > 1e-12 {
+		t.Fatalf("f[1] = %g, want 2", f[1])
+	}
+	if math.Abs(f[1023]-2046) > 1e-9 {
+		t.Fatalf("last bin %g", f[1023])
+	}
+}
+
+func TestPSDParsevalAcrossAxes(t *testing.T) {
+	// sum(s_mn) must equal Σ_l rms_l²/2 = RMS²/2 — the identity that
+	// lets the paper drop the separate RMS feature.
+	pump := physics.NewPump(physics.PumpConfig{ID: 1, Seed: 2})
+	rec := captureRecord(t, pump, 1)
+	_, psd := PSD(rec)
+	var sum float64
+	for _, v := range psd {
+		sum += v
+	}
+	r := RMS(rec)
+	if math.Abs(sum-r*r/2) > 1e-9*(1+r*r) {
+		t.Fatalf("sum(PSD)=%.9g, RMS²/2=%.9g", sum, r*r/2)
+	}
+}
+
+func TestPSDPeakNearRotor(t *testing.T) {
+	pump := physics.NewPump(physics.PumpConfig{ID: 2, Seed: 3, RotorHz: 120})
+	rec := captureRecord(t, pump, 1)
+	freq, psd := PSD(rec)
+	best := 0
+	for i := range psd {
+		if psd[i] > psd[best] {
+			best = i
+		}
+	}
+	if math.Abs(freq[best]-120) > 10 {
+		t.Fatalf("dominant bin at %.1f Hz", freq[best])
+	}
+}
+
+func TestRMSGrowsWithWear(t *testing.T) {
+	healthy := physics.NewPump(physics.PumpConfig{ID: 3, LifeDays: 600, Seed: 4})
+	worn := physics.NewPump(physics.PumpConfig{ID: 3, LifeDays: 600, InitialAgeDays: 540, Seed: 4})
+	var rh, rw float64
+	for i := 0; i < 5; i++ {
+		day := float64(i)
+		rh += RMS(captureRecord(t, healthy, day))
+		rw += RMS(captureRecord(t, worn, day))
+	}
+	if rw <= rh {
+		t.Fatalf("worn RMS %.4f should exceed healthy %.4f", rw/5, rh/5)
+	}
+}
+
+func TestAmplitudeSpectrum(t *testing.T) {
+	got := AmplitudeSpectrum([]float64{4, 0, -1, 9})
+	want := []float64{2, 0, 0, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AmplitudeSpectrum = %v", got)
+		}
+	}
+}
+
+func TestVelocityPSDScalesInverselyWithFrequency(t *testing.T) {
+	freq := []float64{0, 100, 200}
+	accel := []float64{1, 1, 1}
+	vel := VelocityPSD(freq, accel)
+	if vel[0] != 0 {
+		t.Fatalf("DC velocity %g", vel[0])
+	}
+	// Doubling frequency quarters the velocity PSD.
+	if math.Abs(vel[1]/vel[2]-4) > 1e-9 {
+		t.Fatalf("ratio %g, want 4", vel[1]/vel[2])
+	}
+}
+
+func TestVelocityRMSKnownTone(t *testing.T) {
+	// A pure 100 Hz acceleration tone of amplitude A g has velocity
+	// amplitude A·9806.65/(2π·100) mm/s, i.e. RMS = that / √2.
+	amp := 0.1
+	f0 := 100.0
+	fs := 4000.0
+	k := 1024
+	raw := make([]int16, k)
+	scale := 100.0 / 32768
+	for i := range raw {
+		g := amp * math.Sin(2*math.Pi*f0*float64(i)/fs)
+		raw[i] = int16(g / scale)
+	}
+	rec := &store.Record{SampleRateHz: fs, ScaleG: scale}
+	rec.Raw[0] = raw
+	rec.Raw[1] = make([]int16, k)
+	rec.Raw[2] = make([]int16, k)
+	got := VelocityRMS(rec, 10, 1000)
+	want := amp * 9806.65 / (2 * math.Pi * f0) / math.Sqrt2
+	if math.Abs(got-want) > 0.15*want {
+		t.Fatalf("velocity RMS %.3f mm/s, want ≈%.3f", got, want)
+	}
+}
+
+func TestVelocityRMSGrowsWithWear(t *testing.T) {
+	healthy := physics.NewPump(physics.PumpConfig{ID: 5, LifeDays: 600, Seed: 11})
+	worn := physics.NewPump(physics.PumpConfig{ID: 5, LifeDays: 600, InitialAgeDays: 540, Seed: 11})
+	vh := VelocityRMS(captureRecord(t, healthy, 1), 0, 0)
+	vw := VelocityRMS(captureRecord(t, worn, 1), 0, 0)
+	if vw <= vh {
+		t.Fatalf("worn velocity %.3f should exceed healthy %.3f", vw, vh)
+	}
+}
+
+func TestISOVelocitySeverityTracksWear(t *testing.T) {
+	// Velocity severity never decreases with wear. (The simulator's
+	// absolute velocity scale stays below the Class II A/B boundary —
+	// its wear signature is high-frequency, which the 1/f velocity
+	// weighting suppresses — so the claim is monotonicity, not a zone
+	// jump.)
+	healthy := physics.NewPump(physics.PumpConfig{ID: 6, LifeDays: 600, Seed: 12})
+	worn := physics.NewPump(physics.PumpConfig{ID: 6, LifeDays: 600, InitialAgeDays: 560, Seed: 12})
+	vh := VelocityRMS(captureRecord(t, healthy, 1), 0, 0)
+	vw := VelocityRMS(captureRecord(t, worn, 1), 0, 0)
+	if vw <= vh {
+		t.Fatalf("velocity ordering broken: %.3f vs %.3f mm/s", vh, vw)
+	}
+	if physics.ZoneForVelocity(vw) < physics.ZoneForVelocity(vh) {
+		t.Fatalf("ISO severity decreased with wear: %v -> %v",
+			physics.ZoneForVelocity(vh), physics.ZoneForVelocity(vw))
+	}
+}

@@ -1,0 +1,135 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	s := []Series{{
+		Name: "line",
+		X:    []float64{0, 1, 2, 3},
+		Y:    []float64{0, 1, 2, 3},
+	}}
+	out := Plot(s, Config{Width: 20, Height: 10, XLabel: "x", YLabel: "y"})
+	if !strings.Contains(out, "*") {
+		t.Fatal("no markers plotted")
+	}
+	if !strings.Contains(out, "legend: * line") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "y") || !strings.Contains(out, "(x)") {
+		t.Fatal("axis labels missing")
+	}
+	// 10 plot rows + axis + x labels (+ y label + legend).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 14 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	// The diagonal: top-right and bottom-left markers.
+	plotRows := lines[1:11]
+	if !strings.Contains(plotRows[0], "*") || !strings.Contains(plotRows[9], "*") {
+		t.Fatalf("diagonal endpoints missing:\n%s", out)
+	}
+}
+
+func TestPlotMultipleSeriesMarkers(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}},
+	}
+	out := Plot(s, Config{Width: 10, Height: 5})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("series markers missing:\n%s", out)
+	}
+}
+
+func TestPlotLogX(t *testing.T) {
+	s := []Series{{X: []float64{10, 100, 1000}, Y: []float64{1, 2, 3}}}
+	out := Plot(s, Config{Width: 30, Height: 5, LogX: true})
+	// Equal log spacing: the three markers land evenly; at least the
+	// endpoints must print as the original values.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "1000") {
+		t.Fatalf("log axis labels missing:\n%s", out)
+	}
+	// Non-positive x with LogX is skipped, not crashed.
+	bad := []Series{{X: []float64{-1, 0}, Y: []float64{1, 2}}}
+	if got := Plot(bad, Config{LogX: true}); !strings.Contains(got, "no plottable points") {
+		t.Fatalf("expected empty-plot notice, got:\n%s", got)
+	}
+}
+
+func TestPlotHandlesNaNAndInf(t *testing.T) {
+	s := []Series{{
+		X: []float64{0, 1, 2, math.NaN()},
+		Y: []float64{0, math.Inf(1), 1, 2},
+	}}
+	out := Plot(s, Config{Width: 10, Height: 5})
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into the plot")
+	}
+}
+
+func TestPlotFixedYRange(t *testing.T) {
+	s := []Series{{X: []float64{0, 1}, Y: []float64{0.4, 0.6}}}
+	out := Plot(s, Config{Width: 10, Height: 5, YFixed: true, YMin: 0, YMax: 1})
+	if !strings.Contains(out, "1") || !strings.Contains(out, "0") {
+		t.Fatalf("fixed range labels missing:\n%s", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	s := []Series{{X: []float64{5, 5}, Y: []float64{3, 3}}}
+	out := Plot(s, Config{Width: 10, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant point not plotted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	values := []float64{0, 0.1, 0.1, 0.2, 0.9}
+	out := Histogram(values, 5, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("bins %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bars")
+	}
+	// The densest bin carries the longest bar.
+	longest, longestIdx := 0, -1
+	for i, l := range lines {
+		n := strings.Count(l, "#")
+		if n > longest {
+			longest, longestIdx = n, i
+		}
+	}
+	if longestIdx != 0 {
+		t.Fatalf("densest bin should be the first:\n%s", out)
+	}
+	if got := Histogram(nil, 5, 20); !strings.Contains(got, "no values") {
+		t.Fatal("empty histogram notice missing")
+	}
+	// Constant input occupies a single bin without dividing by zero.
+	if got := Histogram([]float64{2, 2, 2}, 4, 10); !strings.Contains(got, "#") {
+		t.Fatalf("constant histogram:\n%s", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	out := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(out)) != 4 {
+		t.Fatalf("sparkline length %d", len([]rune(out)))
+	}
+	runes := []rune(out)
+	if runes[0] == runes[3] {
+		t.Fatal("sparkline flat despite rising data")
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+	if got := Sparkline([]float64{7, 7}); len([]rune(got)) != 2 {
+		t.Fatal("constant sparkline length")
+	}
+}

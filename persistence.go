@@ -1,0 +1,98 @@
+package vibepm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"vibepm/internal/core"
+	"vibepm/internal/feature"
+)
+
+// ModelState is the serializable form of a fitted engine: the Zone A
+// baseline, the classifier parameters, the decision boundary, and (when
+// learned) the lifetime models. It lets a trained pipeline be shipped
+// to the plant floor without the training corpus.
+type ModelState struct {
+	Version    int                  `json:"version"`
+	Options    Options              `json:"options"`
+	Baseline   *feature.Baseline    `json:"baseline"`
+	Classifier core.ClassifierState `json:"classifier"`
+	Boundary   float64              `json:"boundary"`
+	Models     *LifetimeModels      `json:"models,omitempty"`
+}
+
+// modelStateVersion is bumped on breaking format changes.
+const modelStateVersion = 1
+
+// ErrModelVersion is returned when loading a state with an unsupported
+// version.
+var ErrModelVersion = errors.New("vibepm: unsupported model state version")
+
+// SaveModel writes the fitted pipeline as JSON. The engine must be
+// fitted; lifetime models ride along when they have been learned.
+func (e *Engine) SaveModel(w io.Writer) error {
+	if !e.Fitted() {
+		return ErrNotFitted
+	}
+	state := ModelState{
+		Version:    modelStateVersion,
+		Options:    e.opts,
+		Baseline:   e.baseline,
+		Classifier: e.classifier.State(),
+		Boundary:   e.boundary,
+		Models:     e.models,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(state)
+}
+
+// LoadModel restores a fitted pipeline previously written by SaveModel.
+// The stores are untouched; only the trained state is replaced.
+func (e *Engine) LoadModel(r io.Reader) error {
+	var state ModelState
+	if err := json.NewDecoder(r).Decode(&state); err != nil {
+		return fmt.Errorf("vibepm: decode model: %w", err)
+	}
+	if state.Version != modelStateVersion {
+		return fmt.Errorf("%w: %d", ErrModelVersion, state.Version)
+	}
+	if state.Baseline == nil || len(state.Baseline.Harmonic.Peaks) == 0 {
+		return errors.New("vibepm: model state has no baseline")
+	}
+	classifier, err := core.NewGaussianFromState(state.Classifier)
+	if err != nil {
+		return fmt.Errorf("vibepm: restore classifier: %w", err)
+	}
+	e.opts = state.Options.withDefaults()
+	e.baseline = state.Baseline
+	e.classifier = classifier
+	e.boundary = state.Boundary
+	e.models = state.Models
+	return nil
+}
+
+// SaveModelFile writes the fitted pipeline to path.
+func (e *Engine) SaveModelFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.SaveModel(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelFile restores a fitted pipeline from path.
+func (e *Engine) LoadModelFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return e.LoadModel(f)
+}

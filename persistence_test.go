@@ -1,0 +1,121 @@
+package vibepm
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadModelRoundtrip(t *testing.T) {
+	eng, ds := fitEngine(t, 20)
+	age := ageFuncFor(ds)
+	if _, err := eng.LearnLifetimeModels(age); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine with empty stores must classify identically after
+	// loading the model.
+	fresh := New(Options{})
+	if err := fresh.LoadModel(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Fitted() {
+		t.Fatal("loaded engine not fitted")
+	}
+	b1, _ := eng.Boundary()
+	b2, err := fresh.Boundary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Fatalf("boundary changed: %g vs %g", b1, b2)
+	}
+	for i, lr := range ds.ValidLabelled() {
+		if i >= 20 {
+			break
+		}
+		z1, _, err := eng.Classify(lr.Record)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z2, _, err := fresh.Classify(lr.Record)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z1 != z2 {
+			t.Fatalf("classification diverged after reload: %v vs %v", z1, z2)
+		}
+		d1, _ := eng.Da(lr.Record)
+		d2, _ := fresh.Da(lr.Record)
+		if d1 != d2 {
+			t.Fatalf("Da diverged: %g vs %g", d1, d2)
+		}
+	}
+	// Lifetime models survive too.
+	m1, err := eng.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := fresh.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Models) != len(m2.Models) {
+		t.Fatal("models lost in roundtrip")
+	}
+	for i := range m1.Models {
+		if m1.Models[i].Slope != m2.Models[i].Slope {
+			t.Fatal("model slope changed")
+		}
+	}
+}
+
+func TestSaveModelFileRoundtrip(t *testing.T) {
+	eng, _ := fitEngine(t, 21)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := eng.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(Options{})
+	if err := fresh.LoadModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Fitted() {
+		t.Fatal("loaded engine not fitted")
+	}
+	if err := fresh.LoadModelFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestSaveModelUnfitted(t *testing.T) {
+	eng := New(Options{})
+	var buf bytes.Buffer
+	if err := eng.SaveModel(&buf); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	eng := New(Options{})
+	if err := eng.LoadModel(strings.NewReader("{garbage")); err == nil {
+		t.Fatal("want decode error")
+	}
+	if err := eng.LoadModel(strings.NewReader(`{"version":99}`)); !errors.Is(err, ErrModelVersion) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := eng.LoadModel(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Fatal("want missing-baseline error")
+	}
+	// Inconsistent classifier state.
+	bad := `{"version":1,"baseline":{"Harmonic":{"Peaks":[{"Index":1,"Freq":100,"Value":1}],"BinHz":2},"PMax":1,"FMax":1000,"PSDMean":[1],"PSDVar":[1],"Opt":{}},"classifier":{"zones":[1],"mean":{},"std":{},"prior":{}}}`
+	if err := eng.LoadModel(strings.NewReader(bad)); err == nil {
+		t.Fatal("want classifier state error")
+	}
+}

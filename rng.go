@@ -1,0 +1,9 @@
+package vibepm
+
+import "math/rand"
+
+// newSplitRNG isolates the train/test split randomness so the engine's
+// evaluation sweeps are reproducible run to run.
+func newSplitRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x5717b9e3))
+}

@@ -1,0 +1,110 @@
+package vibepm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vibepm/internal/core"
+	"vibepm/internal/physics"
+)
+
+func stratSamples(nA, nBC, nD int) []core.Sample {
+	var out []core.Sample
+	for i := 0; i < nA; i++ {
+		out = append(out, core.Sample{Score: float64(i), Zone: physics.MergedA})
+	}
+	for i := 0; i < nBC; i++ {
+		out = append(out, core.Sample{Score: 100 + float64(i), Zone: physics.MergedBC})
+	}
+	for i := 0; i < nD; i++ {
+		out = append(out, core.Sample{Score: 200 + float64(i), Zone: physics.MergedD})
+	}
+	return out
+}
+
+func TestSplitStratifiedBasics(t *testing.T) {
+	samples := stratSamples(10, 20, 10)
+	train, test := splitStratified(samples, 8, 1)
+	if len(train)+len(test) != len(samples) {
+		t.Fatalf("partition broken: %d + %d != %d", len(train), len(test), len(samples))
+	}
+	// Proportional: BC holds half the mass → half the training budget.
+	counts := map[Zone]int{}
+	for _, s := range train {
+		counts[s.Zone]++
+	}
+	if counts[physics.MergedBC] < counts[physics.MergedA] || counts[physics.MergedBC] < counts[physics.MergedD] {
+		t.Fatalf("stratification ignored priors: %v", counts)
+	}
+	// Every present zone gets at least one training sample.
+	for _, z := range physics.MergedZones {
+		if counts[z] == 0 {
+			t.Fatalf("zone %v starved: %v", z, counts)
+		}
+	}
+}
+
+func TestSplitStratifiedDeterministic(t *testing.T) {
+	samples := stratSamples(15, 30, 15)
+	t1, _ := splitStratified(samples, 12, 7)
+	t2, _ := splitStratified(samples, 12, 7)
+	if len(t1) != len(t2) {
+		t.Fatal("non-deterministic split size")
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("non-deterministic split content")
+		}
+	}
+	// A different seed draws a different training set (with high
+	// probability for this size).
+	t3, _ := splitStratified(samples, 12, 8)
+	same := true
+	for i := range t1 {
+		if t1[i] != t3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestSplitStratifiedTinyClasses(t *testing.T) {
+	// A class with a single sample keeps it in training only if another
+	// remains for testing; with exactly one sample the class still
+	// contributes one (train gets it, test goes without).
+	samples := stratSamples(2, 3, 2)
+	train, test := splitStratified(samples, 3, 2)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatalf("degenerate split %d/%d", len(train), len(test))
+	}
+}
+
+func TestSplitStratifiedPartitionProperty(t *testing.T) {
+	f := func(nA, nBC, nD uint8, nTrain uint8, seed int64) bool {
+		a, bc, d := int(nA%20)+2, int(nBC%40)+2, int(nD%20)+2
+		samples := stratSamples(a, bc, d)
+		n := int(nTrain)%(len(samples)-3) + 3
+		train, test := splitStratified(samples, n, seed)
+		if len(train)+len(test) != len(samples) {
+			return false
+		}
+		// No sample lost or duplicated: score sums match.
+		var sumAll, sumSplit float64
+		for _, s := range samples {
+			sumAll += s.Score
+		}
+		for _, s := range train {
+			sumSplit += s.Score
+		}
+		for _, s := range test {
+			sumSplit += s.Score
+		}
+		return sumAll == sumSplit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package vibepm
+
+import (
+	"testing"
+
+	"vibepm/internal/mems"
+	"vibepm/internal/physics"
+)
+
+// TestCrossRateClassification: the adaptive-sampling extension changes
+// the capture rate at runtime, so a baseline trained at 4 kHz must
+// classify measurements taken at 2 kHz and 8 kHz into the same zones.
+// The Hz-pinned smoothing window and the baseline-anchored matching
+// tolerance make this hold.
+func TestCrossRateClassification(t *testing.T) {
+	eng, _ := fitEngine(t, 1) // baseline trained at 4 kHz
+	want := map[float64]Zone{0.05: ZoneA, 0.5: ZoneBC, 0.88: ZoneD}
+	for _, fs := range []float64{2000, 4000, 8000} {
+		for d0, wantZone := range want {
+			pump := physics.NewPump(physics.PumpConfig{ID: 0, LifeDays: 600, InitialAgeDays: d0 * 600, Seed: 9})
+			sensor, err := mems.New(mems.Config{SampleRateHz: fs, Seed: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := sensor.Measure(pump, 1, 1024)
+			rec := &Record{PumpID: 0, ServiceDays: 1, SampleRateHz: m.SampleRateHz, ScaleG: m.ScaleG}
+			for ax := 0; ax < 3; ax++ {
+				rec.Raw[ax] = m.Raw[ax]
+			}
+			zone, _, err := eng.Classify(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if zone != wantZone {
+				da, _ := eng.Da(rec)
+				t.Errorf("fs=%.0f d=%.2f: classified %v (Da=%.4f), want %v", fs, d0, zone, da, wantZone)
+			}
+		}
+	}
+}
