@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-dsp experiments experiments-paper cover fuzz clean
+.PHONY: all build test vet race bench bench-dsp experiments experiments-paper chaos cover fuzz clean
 
 all: build vet test
 
@@ -14,6 +14,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The concurrency suites (gateway, par, chaos) under the race detector.
+race:
+	$(GO) test -race ./...
 
 # One testing.B per paper table/figure (bench_test.go) plus DSP
 # micro-benches.
@@ -30,6 +34,11 @@ experiments:
 # The full 155k-measurement reproduction (minutes).
 experiments-paper:
 	$(GO) run ./cmd/vibebench -scale paper
+
+# Soak the ingestion pipeline under the hostile fault plan and print the
+# reliability report. The golden-file run lives in docs/results/.
+chaos:
+	$(GO) run ./cmd/vibechaos -motes 8 -days 30 -plan hostile -seed 42
 
 cover:
 	$(GO) test -cover ./...

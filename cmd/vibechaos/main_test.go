@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenConfig is the run pinned by docs/results/. Changing it (or any
+// behaviour upstream of the report) requires regenerating the golden:
+//
+//	go run ./cmd/vibechaos -motes 8 -days 14 -seed 42 -plan bursty \
+//	    -kill -out docs/results/vibechaos-bursty-s42.json
+var goldenConfig = runConfig{
+	Motes:       8,
+	Days:        14,
+	ReportHours: 6,
+	Samples:     128,
+	Seed:        42,
+	Plan:        "bursty",
+	Kill:        true,
+}
+
+const goldenPath = "../../docs/results/vibechaos-bursty-s42.json"
+
+// TestGoldenReportByteIdentical runs the soak twice in-process and once
+// against the committed golden file: a fixed chaos seed must reproduce
+// the JSON report byte-for-byte.
+func TestGoldenReportByteIdentical(t *testing.T) {
+	first, err := run(goldenConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := run(goldenConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two runs with the same seed produced different reports")
+	}
+	want, err := os.ReadFile(filepath.FromSlash(goldenPath))
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate per comment above): %v", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatalf("report drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, a, want)
+	}
+}
+
+// TestBurstyPlanDeliversNearEverything pins the headline reliability
+// claim: under the bursty plan (65%% in-burst loss, well past the 20%%
+// bar) at least 99%% of produced measurements reach the store, and the
+// remainder is accounted for — never silently dropped.
+func TestBurstyPlanDeliversNearEverything(t *testing.T) {
+	rep, err := run(runConfig{
+		Motes: 8, Days: 14, ReportHours: 6, Samples: 128,
+		Seed: 7, Plan: "bursty",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Produced == 0 {
+		t.Fatal("soak produced nothing")
+	}
+	if rep.Accounted != rep.Produced {
+		t.Fatalf("accounting leak: produced %d, accounted %d", rep.Produced, rep.Accounted)
+	}
+	if rep.DeliveryRate < 0.99 {
+		t.Fatalf("delivery rate %.4f under bursty plan, want >= 0.99", rep.DeliveryRate)
+	}
+}
+
+// TestReportAccountingInvariant sweeps every preset: stored + lost must
+// equal produced under any plan, including permanent mote death.
+func TestReportAccountingInvariant(t *testing.T) {
+	for _, plan := range []string{"none", "bursty", "hostile"} {
+		for _, kill := range []bool{false, true} {
+			rep, err := run(runConfig{
+				Motes: 4, Days: 8, ReportHours: 6, Samples: 64,
+				Seed: 3, Plan: plan, Kill: kill,
+			})
+			if err != nil {
+				t.Fatalf("%s kill=%v: %v", plan, kill, err)
+			}
+			if rep.Accounted != rep.Produced {
+				t.Fatalf("%s kill=%v: produced %d != accounted %d (stored %d lost %d)",
+					plan, kill, rep.Produced, rep.Accounted, rep.Stored, rep.Lost)
+			}
+			if kill && len(rep.DeadMotes) == 0 {
+				t.Fatalf("%s: kill scheduled but no dead motes reported", plan)
+			}
+		}
+	}
+}
+
+// TestReportJSONShape guards the golden-file contract: no timestamps,
+// arrays always present (never null), and the JSON round-trips.
+func TestReportJSONShape(t *testing.T) {
+	rep, err := run(runConfig{
+		Motes: 2, Days: 2, ReportHours: 12, Samples: 64,
+		Seed: 1, Plan: "none",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("null")) {
+		t.Fatalf("report contains null (arrays must be [] and maps {}):\n%s", b)
+	}
+	var back report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Produced != rep.Produced || back.Stored != rep.Stored {
+		t.Fatal("report did not round-trip")
+	}
+	if b[len(b)-1] != '\n' {
+		t.Fatal("report must be newline-terminated")
+	}
+}
+
+func TestUnknownPlanErrors(t *testing.T) {
+	if _, err := run(runConfig{Motes: 1, Days: 1, ReportHours: 12, Samples: 64, Plan: "nope"}); err == nil {
+		t.Fatal("unknown plan must error")
+	}
+}

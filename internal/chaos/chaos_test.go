@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"vibepm/internal/flush"
+)
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"none", "", "bursty", "hostile"} {
+		plan, err := Preset(name, 1)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if plan.Seed != 1 {
+			t.Fatalf("preset %q lost the seed", name)
+		}
+	}
+	if _, err := Preset("nope", 1); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}
+
+func TestInjectorDeterministicAcrossRuns(t *testing.T) {
+	plan, _ := Preset("hostile", 99)
+	drive := func() []Counts {
+		in := NewInjector(plan)
+		var out []Counts
+		for mote := 0; mote < 4; mote++ {
+			for w := 0; w < 200; w++ {
+				wf := in.OnWakeup(mote, float64(w)*0.25)
+				if wf.Corrupt != nil {
+					// The closure draws from the mote stream too;
+					// exercise it so the stream advances identically.
+					buf := make([]byte, 64)
+					wf.Corrupt(buf)
+				}
+				_ = in.OnStore(mote)
+			}
+		}
+		out = append(out, in.Counts())
+		return out
+	}
+	a, b := drive(), drive()
+	if a[0] != b[0] {
+		t.Fatalf("injector not deterministic: %+v vs %+v", a[0], b[0])
+	}
+	if a[0].Crashes == 0 || a[0].Gaps == 0 || a[0].StoreErrs == 0 {
+		t.Fatalf("hostile plan fired nothing: %+v", a[0])
+	}
+}
+
+func TestInjectorDeterministicUnderConcurrency(t *testing.T) {
+	// Per-mote streams must be independent: interleaving motes across
+	// goroutines cannot change any one mote's decision sequence.
+	plan, _ := Preset("hostile", 7)
+	serial := func() Counts {
+		in := NewInjector(plan)
+		for mote := 0; mote < 8; mote++ {
+			for w := 0; w < 100; w++ {
+				in.OnWakeup(mote, float64(w))
+				in.OnStore(mote)
+			}
+		}
+		return in.Counts()
+	}()
+	concurrent := func() Counts {
+		in := NewInjector(plan)
+		var wg sync.WaitGroup
+		for mote := 0; mote < 8; mote++ {
+			wg.Add(1)
+			go func(mote int) {
+				defer wg.Done()
+				for w := 0; w < 100; w++ {
+					in.OnWakeup(mote, float64(w))
+					in.OnStore(mote)
+				}
+			}(mote)
+		}
+		wg.Wait()
+		return in.Counts()
+	}()
+	if serial != concurrent {
+		t.Fatalf("scheduling leaked into fault decisions: %+v vs %+v", serial, concurrent)
+	}
+}
+
+func TestWrapLinksLayersLoss(t *testing.T) {
+	plan := Plan{Seed: 3, Link: LinkFaults{GoodLoss: 0.5}}
+	in := NewInjector(plan)
+	base := flush.NewLink(flush.LinkConfig{Seed: 4}) // perfect channel
+	fwd, _ := in.WrapLinks(0, base, flush.NewLink(flush.LinkConfig{Seed: 5}))
+	var delivered int
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if fwd.Deliver() {
+			delivered++
+		}
+	}
+	rate := float64(delivered) / n
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("layered 50%% loss delivered %.3f", rate)
+	}
+	// A no-loss plan must return the channels untouched.
+	in2 := NewInjector(Plan{Seed: 3})
+	a := flush.NewLink(flush.LinkConfig{Seed: 6})
+	b := flush.NewLink(flush.LinkConfig{Seed: 7})
+	fa, fb := in2.WrapLinks(0, a, b)
+	if fa != flush.Channel(a) || fb != flush.Channel(b) {
+		t.Fatal("inactive link plan wrapped the channels anyway")
+	}
+}
+
+func TestKillSchedule(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, KillAtDays: map[int]float64{2: 5}})
+	if wf := in.OnWakeup(2, 4.9); wf.KillMote {
+		t.Fatal("killed before schedule")
+	}
+	if wf := in.OnWakeup(2, 5.0); !wf.KillMote {
+		t.Fatal("not killed at schedule")
+	}
+	if wf := in.OnWakeup(1, 10); wf.KillMote {
+		t.Fatal("kill leaked to another mote")
+	}
+}
+
+func TestCorruptionMutatesPayload(t *testing.T) {
+	in := NewInjector(Plan{Seed: 8, CorruptProb: 1})
+	wf := in.OnWakeup(0, 0)
+	if wf.Corrupt == nil {
+		t.Fatal("CorruptProb=1 produced no corruption")
+	}
+	payload := make([]byte, 256)
+	wf.Corrupt(payload)
+	changed := 0
+	for _, b := range payload {
+		if b != 0 {
+			changed++
+		}
+	}
+	if changed == 0 || changed > 4 {
+		t.Fatalf("corruption flipped %d bytes, want 1..4", changed)
+	}
+	// Empty payloads must not panic.
+	wf2 := in.OnWakeup(0, 1)
+	if wf2.Corrupt != nil {
+		wf2.Corrupt(nil)
+	}
+}
+
+func TestStoreErrIdentity(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9, StoreErrProb: 1})
+	if err := in.OnStore(0); !errors.Is(err, ErrStoreInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	clean := NewInjector(Plan{Seed: 9})
+	if err := clean.OnStore(0); err != nil {
+		t.Fatalf("no-fault plan injected %v", err)
+	}
+}

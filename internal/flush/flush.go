@@ -57,6 +57,16 @@ func Split(payload []byte) []Packet {
 	return pkts
 }
 
+// Channel is one direction of the radio: each Deliver call decides the
+// fate of a single frame, advancing whatever loss process the
+// implementation models. *Link is the stock implementation;
+// fault-injection layers (internal/chaos) wrap a Channel to escalate
+// loss without touching the protocol.
+type Channel interface {
+	// Deliver reports whether one frame survives the channel.
+	Deliver() bool
+}
+
 // Link is a seeded Gilbert-Elliott loss channel: a "good" state with
 // low loss and a "bad" (burst) state with high loss.
 type Link struct {
@@ -154,7 +164,17 @@ var ErrCorrupt = errors.New("flush: reassembled payload failed CRC check")
 // link (mote→base) with NACKs on the reverse link (base→mote; may also
 // lose frames). It returns the reassembled payload and the transfer
 // statistics. On failure the stats describe the partial attempt.
-func Transfer(payload []byte, forward, reverse *Link) ([]byte, *TransferStats, error) {
+func Transfer(payload []byte, forward, reverse Channel) ([]byte, *TransferStats, error) {
+	return TransferRounds(payload, forward, reverse, MaxRounds)
+}
+
+// TransferRounds is Transfer with an explicit round budget — the knob
+// the delivered/abandoned boundary tests sweep. maxRounds < 1 is
+// clamped to 1.
+func TransferRounds(payload []byte, forward, reverse Channel, maxRounds int) ([]byte, *TransferStats, error) {
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
 	pkts := Split(payload)
 	total := len(pkts)
 	stats := &TransferStats{DataPackets: total}
@@ -165,7 +185,7 @@ func Transfer(payload []byte, forward, reverse *Link) ([]byte, *TransferStats, e
 		missing[i] = i
 	}
 	firstRound := true
-	for round := 0; round < MaxRounds; round++ {
+	for round := 0; round < maxRounds; round++ {
 		stats.Rounds++
 		for _, seq := range missing {
 			stats.PacketsSent++

@@ -5,21 +5,42 @@ import (
 	"testing"
 )
 
-// FuzzTransfer drives the full protocol with arbitrary payloads and
-// loss-process seeds: delivery must be all-or-nothing and byte-exact.
+// FuzzTransfer drives the full protocol with arbitrary payloads,
+// loss-process seeds, burst dynamics and round budgets: delivery must
+// be all-or-nothing and byte-exact, and abandonment must respect the
+// budget.
 func FuzzTransfer(f *testing.F) {
-	f.Add([]byte("hello flush"), int64(1), uint8(10))
-	f.Add([]byte{}, int64(2), uint8(0))
-	f.Add(bytes.Repeat([]byte{0xAB}, 6144), int64(3), uint8(30))
+	f.Add([]byte("hello flush"), int64(1), uint8(10), uint8(0), uint8(64))
+	f.Add([]byte{}, int64(2), uint8(0), uint8(0), uint8(64))
+	f.Add(bytes.Repeat([]byte{0xAB}, 6144), int64(3), uint8(30), uint8(0), uint8(64))
+	// Bursty channels: high in-burst loss with varying burst entry.
+	f.Add(bytes.Repeat([]byte{0x5A}, 2080), int64(4), uint8(5), uint8(90), uint8(64))
+	f.Add(bytes.Repeat([]byte{0x01}, 1040), int64(5), uint8(2), uint8(59), uint8(32))
+	// Starved round budgets around the delivered/abandoned boundary.
+	f.Add(bytes.Repeat([]byte{0xFF}, 520), int64(6), uint8(20), uint8(40), uint8(1))
+	f.Add(bytes.Repeat([]byte{0x10}, 4160), int64(7), uint8(40), uint8(80), uint8(3))
+	// Single-packet and sub-packet payloads.
+	f.Add([]byte{0x42}, int64(8), uint8(50), uint8(50), uint8(2))
 
-	f.Fuzz(func(t *testing.T, payload []byte, seed int64, lossPct uint8) {
+	f.Fuzz(func(t *testing.T, payload []byte, seed int64, lossPct, burstPct, rounds uint8) {
 		if len(payload) > 16384 {
 			payload = payload[:16384]
 		}
-		loss := float64(lossPct%60) / 100 // up to 59% loss: recoverable
-		fwd := NewLink(LinkConfig{GoodLoss: loss, Seed: seed})
+		loss := float64(lossPct%60) / 100             // up to 59% steady loss: recoverable
+		burst := float64(burstPct%91) / 100           // up to 90% in-burst loss
+		maxRounds := int(rounds%uint8(MaxRounds)) + 1 // 1..64
+		fwd := NewLink(LinkConfig{
+			GoodLoss:   loss,
+			BadLoss:    burst,
+			PGoodToBad: 0.05,
+			PBadToGood: 0.25,
+			Seed:       seed,
+		})
 		rev := NewLink(LinkConfig{GoodLoss: loss, Seed: seed + 1})
-		got, stats, err := Transfer(payload, fwd, rev)
+		got, stats, err := TransferRounds(payload, fwd, rev, maxRounds)
+		if stats.Rounds > maxRounds {
+			t.Fatalf("used %d rounds, budget %d", stats.Rounds, maxRounds)
+		}
 		if err != nil {
 			// Failure is legal under loss, but must be reported
 			// consistently.

@@ -1,0 +1,165 @@
+package flush
+
+// Table-driven sweeps over loss rate × burstiness × round budget,
+// pinning down the delivered/abandoned boundary of the protocol and the
+// CRC rejection path — the operating envelope behind the paper's §II
+// reliability claims.
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func TestTransferSweepDeliveredAbandonedBoundary(t *testing.T) {
+	payload := randomPayload(77, 2080) // 40 data packets
+	cases := []struct {
+		name      string
+		cfg       LinkConfig
+		maxRounds int
+		// wantDelivered is the expected outcome for every seed swept.
+		wantDelivered bool
+	}{
+		// Independent loss, generous budget: always recoverable.
+		{"clean/64", LinkConfig{}, 64, true},
+		{"loss10/64", LinkConfig{GoodLoss: 0.10}, 64, true},
+		{"loss30/64", LinkConfig{GoodLoss: 0.30}, 64, true},
+		{"loss50/64", LinkConfig{GoodLoss: 0.50}, 64, true},
+		// Bursty loss, generous budget: bursts end, NACK rounds mop up.
+		{"burst60/64", LinkConfig{GoodLoss: 0.05, BadLoss: 0.60, PGoodToBad: 0.05, PBadToGood: 0.25}, 64, true},
+		{"burst90/64", LinkConfig{GoodLoss: 0.05, BadLoss: 0.90, PGoodToBad: 0.05, PBadToGood: 0.20}, 64, true},
+		// Starved budgets: even mild loss cannot finish in one round,
+		// and a total blackout never delivers at any budget.
+		{"loss30/1", LinkConfig{GoodLoss: 0.30}, 1, false},
+		{"blackout/64", LinkConfig{GoodLoss: 1, BadLoss: 1}, 64, false},
+		{"stuck-burst/8", LinkConfig{GoodLoss: 0.02, BadLoss: 1, PGoodToBad: 1, PBadToGood: 1e-12}, 8, false},
+		// Boundary case: a clean channel needs exactly one round.
+		{"clean/1", LinkConfig{}, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				cfg := tc.cfg
+				cfg.Seed = seed
+				fwd := NewLink(cfg)
+				rev := NewLink(LinkConfig{Seed: seed + 1000})
+				got, stats, err := TransferRounds(payload, fwd, rev, tc.maxRounds)
+				if tc.wantDelivered {
+					if err != nil {
+						t.Fatalf("seed %d: want delivery, got %v (stats %+v)", seed, err, stats)
+					}
+					if !bytes.Equal(got, payload) {
+						t.Fatalf("seed %d: delivered payload differs", seed)
+					}
+					if !stats.Delivered || stats.Rounds > tc.maxRounds {
+						t.Fatalf("seed %d: stats %+v", seed, stats)
+					}
+				} else {
+					if !errors.Is(err, ErrTransferFailed) {
+						t.Fatalf("seed %d: want abandonment, got err=%v delivered=%v", seed, err, stats.Delivered)
+					}
+					if stats.Delivered {
+						t.Fatalf("seed %d: abandoned transfer claims delivery", seed)
+					}
+					if stats.Rounds != tc.maxRounds {
+						t.Fatalf("seed %d: abandoned after %d rounds, budget %d", seed, stats.Rounds, tc.maxRounds)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTransferRetransmissionCostGrowsWithLoss sweeps the loss rate and
+// asserts the protocol pays monotonically more retransmissions (on
+// average) as the channel worsens — the Fig. 5-style energy story.
+func TestTransferRetransmissionCostGrowsWithLoss(t *testing.T) {
+	payload := randomPayload(78, 4160)
+	avgRetrans := func(loss float64) float64 {
+		var total int
+		const seeds = 8
+		for seed := int64(0); seed < seeds; seed++ {
+			fwd := NewLink(LinkConfig{GoodLoss: loss, Seed: seed*7 + 1})
+			rev := NewLink(LinkConfig{Seed: seed*7 + 2})
+			_, stats, err := Transfer(payload, fwd, rev)
+			if err != nil {
+				t.Fatalf("loss %.2f seed %d: %v", loss, seed, err)
+			}
+			total += stats.Retransmissions
+		}
+		return float64(total) / seeds
+	}
+	losses := []float64{0, 0.1, 0.3, 0.5}
+	prev := -1.0
+	for _, loss := range losses {
+		got := avgRetrans(loss)
+		if got <= prev {
+			t.Fatalf("retransmissions not increasing: loss %.2f → %.1f after %.1f", loss, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestTransferCRCRejection corrupts packets in flight (a byte flip the
+// link-layer checksum missed) and asserts the reassembly CRC refuses
+// the payload rather than delivering garbage.
+func TestTransferCRCRejection(t *testing.T) {
+	payload := randomPayload(79, 1040)
+	pkts := Split(payload)
+	// Corrupt one mid-transfer fragment.
+	bad := make([]byte, len(pkts[3].Data))
+	copy(bad, pkts[3].Data)
+	bad[7] ^= 0x40
+	pkts[3].Data = bad
+
+	// Reassemble as the receiver would on a perfect channel.
+	var re []byte
+	for _, p := range pkts {
+		re = append(re, p.Data...)
+	}
+	if crc32.ChecksumIEEE(re) == pkts[0].CRC {
+		t.Fatal("corruption not visible to the transfer CRC")
+	}
+}
+
+// TestSplitCRCCoversWholePayload asserts every packet of a transfer
+// carries the payload-wide CRC, so a receiver can verify reassembly no
+// matter which packets it saw first.
+func TestSplitCRCCoversWholePayload(t *testing.T) {
+	payload := randomPayload(80, 3120)
+	want := crc32.ChecksumIEEE(payload)
+	for i, p := range Split(payload) {
+		if p.CRC != want {
+			t.Fatalf("packet %d carries CRC %#x, want %#x", i, p.CRC, want)
+		}
+	}
+}
+
+// TestChannelInterfaceComposes asserts a wrapped Channel behaves
+// exactly like the wrapped Link — the seam internal/chaos injects at.
+func TestChannelInterfaceComposes(t *testing.T) {
+	payload := randomPayload(81, 1040)
+	direct := func() *TransferStats {
+		fwd := NewLink(LinkConfig{GoodLoss: 0.2, Seed: 31})
+		rev := NewLink(LinkConfig{Seed: 32})
+		_, stats, err := Transfer(payload, fwd, rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}()
+	type passthrough struct{ Channel }
+	wrapped := func() *TransferStats {
+		fwd := passthrough{NewLink(LinkConfig{GoodLoss: 0.2, Seed: 31})}
+		rev := passthrough{NewLink(LinkConfig{Seed: 32})}
+		_, stats, err := Transfer(payload, fwd, rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}()
+	if direct.PacketsSent != wrapped.PacketsSent || direct.Rounds != wrapped.Rounds {
+		t.Fatalf("wrapping changed behaviour: %+v vs %+v", direct, wrapped)
+	}
+}

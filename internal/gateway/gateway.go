@@ -4,21 +4,134 @@
 // Flush bulk transport, tracks per-mote heartbeats (marking motes dead
 // when heartbeats stop), and ingests reassembled measurements into the
 // measurement database.
+//
+// The ingestion path is hardened against the failure modes the paper's
+// fab deployment saw in the wild: transfers that fail past Flush's own
+// NACK recovery are retried with exponential backoff and jitter, a mote
+// that keeps failing is quarantined by a per-mote circuit breaker
+// instead of being retried forever, store writes are idempotent so
+// duplicated deliveries cannot inflate a series, and every produced
+// measurement is accounted for in the IngestReport — delivered,
+// retried, quarantined, or lost, never silently dropped. Fault
+// injection (internal/chaos) hooks in through the Faults interface at
+// three named points: the radio links, the wakeup slot, and the store
+// write.
 package gateway
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 
 	"vibepm/internal/flush"
 	"vibepm/internal/mems"
 	"vibepm/internal/mote"
+	"vibepm/internal/par"
 	"vibepm/internal/sched"
 	"vibepm/internal/store"
 )
+
+// RetryConfig bounds the gateway's transfer and store-write retries.
+// The zero value selects the defaults noted per field. Backoff time is
+// simulated (the network clock is the caller's nowDays), so the delays
+// are accounted in IngestReport.BackoffSeconds rather than slept.
+type RetryConfig struct {
+	// MaxAttempts is the total number of delivery attempts per
+	// measurement, first try included (default 3, minimum 1).
+	MaxAttempts int
+	// BaseDelaySeconds is the backoff before the first retry
+	// (default 5 s); each further retry doubles it.
+	BaseDelaySeconds float64
+	// MaxDelaySeconds caps the exponential growth (default 60 s).
+	MaxDelaySeconds float64
+	// JitterFrac spreads each delay by ±frac·delay to decorrelate
+	// retries across motes (default 0.2).
+	JitterFrac float64
+	// Seed fixes the jitter streams (per-mote streams are derived).
+	Seed int64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseDelaySeconds <= 0 {
+		c.BaseDelaySeconds = 5
+	}
+	if c.MaxDelaySeconds <= 0 {
+		c.MaxDelaySeconds = 60
+	}
+	if c.JitterFrac <= 0 {
+		c.JitterFrac = 0.2
+	}
+	return c
+}
+
+// BreakerConfig parameterizes the per-mote circuit breaker: a mote
+// whose measurements keep getting lost is quarantined for a cooldown
+// instead of burning the channel on retries that keep failing.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive lost measurements open
+	// the breaker (default 5).
+	FailureThreshold int
+	// CooldownDays is how long an open breaker quarantines the mote;
+	// after the cooldown the next measurement probes the channel
+	// half-open (default 0.5 days).
+	CooldownDays float64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.CooldownDays <= 0 {
+		c.CooldownDays = 0.5
+	}
+	return c
+}
+
+// WakeupFaults is one wakeup slot's injected adversity, as decided by a
+// Faults implementation. The zero value injects nothing.
+type WakeupFaults struct {
+	// SuppressHeartbeat hides a completed heartbeat from the server
+	// (a heartbeat gap: the radio ate the liveness beacon).
+	SuppressHeartbeat bool
+	// CrashMote loses the slot's measurement to a transient mote crash;
+	// the mote reboots and resumes its schedule.
+	CrashMote bool
+	// KillMote is permanent hardware death: the slot's measurement and
+	// everything after it are lost and the mote never wakes again.
+	KillMote bool
+	// Corrupt, when non-nil, mutates the reassembled payload after the
+	// Flush CRC check passed — corruption past the transport's
+	// integrity layer, which only the decode/validation layer can
+	// catch.
+	Corrupt func(payload []byte)
+	// DuplicateDeliveries re-delivers the stored record this many extra
+	// times, exercising the store's idempotency.
+	DuplicateDeliveries int
+	// DelayDelivery holds the decoded record back and re-presents it on
+	// a later ingestion pass — out-of-order arrival.
+	DelayDelivery bool
+}
+
+// Faults is the fault-injection hook interface consumed by the server.
+// Implementations (internal/chaos) must be safe for concurrent use
+// across motes; calls for one mote are serialized by the per-mote lock.
+type Faults interface {
+	// WrapLinks interposes on a mote's radio channels at registration —
+	// the "flush.Link" injection point.
+	WrapLinks(moteID int, forward, reverse flush.Channel) (flush.Channel, flush.Channel)
+	// OnWakeup decides the faults for one wakeup slot — the
+	// "gateway.Server" injection point.
+	OnWakeup(moteID int, atDays float64) WakeupFaults
+	// OnStore is consulted before each store write; a non-nil error
+	// fails that attempt — the "store.Measurements" injection point.
+	OnStore(moteID int) error
+}
 
 // Config parameterizes the server.
 type Config struct {
@@ -39,34 +152,85 @@ type Config struct {
 	// precomputed TDMA schedule (see internal/sched) instead of the
 	// naive stagger.
 	Slots *sched.Schedule
+	// Retry bounds per-measurement delivery retries.
+	Retry RetryConfig
+	// Breaker parameterizes the per-mote circuit breaker.
+	Breaker BreakerConfig
+	// Faults, when non-nil, injects faults at the named points.
+	Faults Faults
+	// Workers caps the goroutines Advance fans out across motes
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
 }
 
 // Server is the sensor management server. It is safe for concurrent
-// use.
+// use: the registry lock guards only the mote map, and each mote's
+// state (links, retry stream, breaker, heartbeat) is guarded by its own
+// lock, so transfers of distinct motes proceed in parallel.
 type Server struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // guards motes map and registration order
 	cfg   Config
 	store *store.Measurements
 	motes map[int]*entry
-	now   float64
 }
 
 type entry struct {
+	mu            sync.Mutex // guards everything below across a transfer
+	id            int
 	m             *mote.Mote
-	forward       *flush.Link
-	reverse       *flush.Link
+	forward       flush.Channel
+	reverse       flush.Channel
+	jitter        *rand.Rand
 	lastHeartbeat float64
 	dead          bool
 	transfers     int
 	failures      int
+	// Circuit breaker state.
+	consecFailures   int
+	quarantinedUntil float64
+	breakerTrips     int
+	// Chaos-delayed records awaiting re-presentation.
+	delayed []*store.Record
 }
 
-// IngestReport summarizes one Advance call.
+// IngestReport summarizes one Advance call. Every measurement a mote
+// produced during the call lands in exactly one of Stored,
+// TransferFailures, StoreFailures, Quarantined, CrashDrops, or Delayed
+// — the accounting invariant the chaos soak asserts.
 type IngestReport struct {
-	// Stored counts measurements successfully delivered and ingested.
+	// Stored counts measurements successfully delivered and ingested
+	// (Recovered ⊆ Stored needed at least one retry; Reordered ⊆ Stored
+	// arrived late after a delay).
 	Stored int
-	// TransferFailures counts measurements lost to the radio channel.
+	// Recovered counts measurements stored only after ≥ 1 retry.
+	Recovered int
+	// Reordered counts delayed records finally stored this call.
+	Reordered int
+	// Duplicates counts re-deliveries the idempotent store suppressed.
+	Duplicates int
+	// TransferFailures counts measurements lost to the radio channel
+	// after exhausting the retry budget.
 	TransferFailures int
+	// StoreFailures counts measurements delivered but lost to
+	// persistent store write errors.
+	StoreFailures int
+	// Quarantined counts measurements skipped while a mote's breaker
+	// was open.
+	Quarantined int
+	// CrashDrops counts measurements lost to injected mote crashes.
+	CrashDrops int
+	// Delayed counts records held back by fault injection this call
+	// (they surface later as Reordered).
+	Delayed int
+	// Retries counts extra transfer attempts beyond each first try.
+	Retries int
+	// RetryHistogram maps attempts-used to measurement count for every
+	// measurement that completed its delivery decision this call.
+	RetryHistogram map[int]int
+	// BackoffSeconds totals the simulated backoff delay.
+	BackoffSeconds float64
+	// BreakerTrips counts breaker openings.
+	BreakerTrips int
 	// PacketsSent totals the link-layer frames, retransmissions
 	// included.
 	PacketsSent int
@@ -74,6 +238,34 @@ type IngestReport struct {
 	Retransmissions int
 	// NewlyDead lists motes first marked dead during this call.
 	NewlyDead []int
+	// Revived lists motes whose heartbeat returned after the server had
+	// marked them dead (a heartbeat gap, not a real death).
+	Revived []int
+}
+
+func (r *IngestReport) merge(o IngestReport) {
+	r.Stored += o.Stored
+	r.Recovered += o.Recovered
+	r.Reordered += o.Reordered
+	r.Duplicates += o.Duplicates
+	r.TransferFailures += o.TransferFailures
+	r.StoreFailures += o.StoreFailures
+	r.Quarantined += o.Quarantined
+	r.CrashDrops += o.CrashDrops
+	r.Delayed += o.Delayed
+	r.Retries += o.Retries
+	r.BackoffSeconds += o.BackoffSeconds
+	r.BreakerTrips += o.BreakerTrips
+	r.PacketsSent += o.PacketsSent
+	r.Retransmissions += o.Retransmissions
+	r.NewlyDead = append(r.NewlyDead, o.NewlyDead...)
+	r.Revived = append(r.Revived, o.Revived...)
+	for k, v := range o.RetryHistogram {
+		if r.RetryHistogram == nil {
+			r.RetryHistogram = make(map[int]int)
+		}
+		r.RetryHistogram[k] += v
+	}
 }
 
 // New builds a server from cfg.
@@ -85,6 +277,8 @@ func New(cfg Config) *Server {
 	if cfg.SlotSpacingHours <= 0 {
 		cfg.SlotSpacingHours = 0.1
 	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	cfg.Breaker = cfg.Breaker.withDefaults()
 	return &Server{cfg: cfg, store: st, motes: make(map[int]*entry)}
 }
 
@@ -93,6 +287,9 @@ func (s *Server) Store() *store.Measurements { return s.store }
 
 // ErrDuplicateMote is returned when registering an id twice.
 var ErrDuplicateMote = errors.New("gateway: mote already registered")
+
+// ErrUnknownMote is returned when addressing an unregistered mote.
+var ErrUnknownMote = errors.New("gateway: unknown mote")
 
 // Register handles a mote's boot-up notification: the server assigns
 // its first wakeup slot (staggered by registration order) and boots it.
@@ -116,10 +313,18 @@ func (s *Server) Register(m *mote.Mote, startDays float64) error {
 		}
 	}
 	m.Boot(slot)
+	var forward, reverse flush.Channel
+	forward = flush.NewLink(withSeed(s.cfg.Link, int64(id)*2+1))
+	reverse = flush.NewLink(withSeed(s.cfg.Link, int64(id)*2+2))
+	if s.cfg.Faults != nil {
+		forward, reverse = s.cfg.Faults.WrapLinks(id, forward, reverse)
+	}
 	s.motes[id] = &entry{
+		id:            id,
 		m:             m,
-		forward:       flush.NewLink(withSeed(s.cfg.Link, int64(id)*2+1)),
-		reverse:       flush.NewLink(withSeed(s.cfg.Link, int64(id)*2+2)),
+		forward:       forward,
+		reverse:       reverse,
+		jitter:        rand.New(rand.NewSource(s.cfg.Retry.Seed ^ (int64(id)*0x9e3779b9 + 0x7f4a7c15))),
 		lastHeartbeat: slot,
 	}
 	return nil
@@ -130,66 +335,239 @@ func withSeed(cfg flush.LinkConfig, delta int64) flush.LinkConfig {
 	return cfg
 }
 
-// Advance moves the whole network to nowDays: every registered mote
-// executes its due wakeup slots, each produced measurement crosses the
-// Flush channel and, if delivered intact, is ingested. Heartbeats are
-// tracked and overdue motes are marked dead.
-func (s *Server) Advance(nowDays float64) IngestReport {
+// entries snapshots the registry in id order.
+func (s *Server) entries() []*entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var rep IngestReport
-	s.now = nowDays
-	ids := make([]int, 0, len(s.motes))
-	for id := range s.motes {
-		ids = append(ids, id)
+	out := make([]*entry, 0, len(s.motes))
+	for _, e := range s.motes {
+		out = append(out, e)
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		e := s.motes[id]
-		for _, w := range e.m.Advance(nowDays) {
-			if w.Heartbeat {
-				e.lastHeartbeat = w.AtDays
-			}
-			if w.Measurement == nil {
-				continue
-			}
-			rec := recordFromMeasurement(id, w.Measurement)
-			payload, err := encodePayload(rec)
-			if err != nil {
-				rep.TransferFailures++
-				e.failures++
-				continue
-			}
-			delivered, stats, err := flush.Transfer(payload, e.forward, e.reverse)
-			rep.PacketsSent += stats.PacketsSent
-			rep.Retransmissions += stats.Retransmissions
-			e.transfers++
-			if err != nil {
-				rep.TransferFailures++
-				e.failures++
-				continue
-			}
-			got, err := decodePayload(delivered)
-			if err != nil {
-				rep.TransferFailures++
-				e.failures++
-				continue
-			}
-			s.store.Add(got)
-			rep.Stored++
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// Advance moves the whole network to nowDays: every registered mote
+// executes its due wakeup slots, each produced measurement crosses the
+// Flush channel (with bounded retries) and, if delivered intact, is
+// ingested idempotently. Heartbeats are tracked and overdue motes are
+// marked dead. Motes advance in parallel — each under its own lock —
+// and the merged report is deterministic because every per-mote
+// randomness stream is independent of goroutine scheduling.
+func (s *Server) Advance(nowDays float64) IngestReport {
+	ents := s.entries()
+	reports := par.Map(len(ents), s.cfg.Workers, func(i int) IngestReport {
+		return s.advanceEntry(ents[i], nowDays)
+	})
+	var merged IngestReport
+	for _, rep := range reports {
+		merged.merge(rep)
+	}
+	return merged
+}
+
+// AdvanceMote advances a single mote to nowDays — the entry point a
+// concurrent ingestion front-end (one goroutine per mote) drives
+// directly.
+func (s *Server) AdvanceMote(moteID int, nowDays float64) (IngestReport, error) {
+	s.mu.Lock()
+	e, ok := s.motes[moteID]
+	s.mu.Unlock()
+	if !ok {
+		return IngestReport{}, fmt.Errorf("%w: %d", ErrUnknownMote, moteID)
+	}
+	return s.advanceEntry(e, nowDays), nil
+}
+
+func (s *Server) advanceEntry(e *entry, nowDays float64) IngestReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rep := IngestReport{RetryHistogram: make(map[int]int)}
+	// Chaos-delayed records from earlier passes arrive first — out of
+	// order relative to the measurements ingested since; the sorted
+	// store absorbs them.
+	s.drainDelayedLocked(e, &rep)
+	wakeups := e.m.Advance(nowDays)
+	for wi, w := range wakeups {
+		var wf WakeupFaults
+		if s.cfg.Faults != nil {
+			wf = s.cfg.Faults.OnWakeup(e.id, w.AtDays)
 		}
-		// Liveness: if the mote missed its heartbeat for longer than the
-		// timeout, mark it dead.
-		timeout := s.cfg.HeartbeatTimeoutDays
-		if timeout <= 0 {
-			timeout = 2 * e.m.ReportPeriodHours() / 24
+		if w.Heartbeat && !wf.SuppressHeartbeat {
+			e.lastHeartbeat = w.AtDays
+			if e.dead {
+				// The "death" was a heartbeat gap; the mote is back.
+				e.dead = false
+				rep.Revived = append(rep.Revived, e.id)
+			}
 		}
-		if !e.dead && nowDays-e.lastHeartbeat > timeout {
-			e.dead = true
-			rep.NewlyDead = append(rep.NewlyDead, id)
+		if wf.KillMote {
+			e.m.Kill()
+			// Account this and every remaining measurement of the batch
+			// before abandoning it.
+			for _, rest := range wakeups[wi:] {
+				if rest.Measurement != nil {
+					rep.CrashDrops++
+				}
+			}
+			break
 		}
+		if w.Measurement == nil {
+			continue
+		}
+		if wf.CrashMote {
+			rep.CrashDrops++
+			continue
+		}
+		if w.AtDays < e.quarantinedUntil {
+			// Breaker open: the measurement is skipped, not retried —
+			// and reported, not silently dropped.
+			rep.Quarantined++
+			continue
+		}
+		rec := recordFromMeasurement(e.id, w.Measurement)
+		payload, err := encodePayload(rec)
+		if err != nil {
+			rep.TransferFailures++
+			e.failures++
+			continue
+		}
+		got, attempts, ok := s.transferWithRetry(e, payload, wf.Corrupt, &rep)
+		rep.RetryHistogram[attempts]++
+		e.transfers++
+		if !ok {
+			rep.TransferFailures++
+			e.failures++
+			e.consecFailures++
+			if e.consecFailures >= s.cfg.Breaker.FailureThreshold {
+				e.quarantinedUntil = w.AtDays + s.cfg.Breaker.CooldownDays
+				e.consecFailures = 0
+				e.breakerTrips++
+				rep.BreakerTrips++
+			}
+			continue
+		}
+		e.consecFailures = 0
+		if attempts > 1 {
+			rep.Recovered++
+		}
+		if wf.DelayDelivery {
+			e.delayed = append(e.delayed, got)
+			rep.Delayed++
+			continue
+		}
+		stored := s.storeWithRetry(e, got, &rep)
+		for d := 0; stored && d < wf.DuplicateDeliveries; d++ {
+			if !s.store.AddUnique(got) {
+				rep.Duplicates++
+			}
+		}
+	}
+	// Liveness: if the mote missed its heartbeat for longer than the
+	// timeout, mark it dead.
+	timeout := s.cfg.HeartbeatTimeoutDays
+	if timeout <= 0 {
+		timeout = 2 * e.m.ReportPeriodHours() / 24
+	}
+	if !e.dead && nowDays-e.lastHeartbeat > timeout {
+		e.dead = true
+		rep.NewlyDead = append(rep.NewlyDead, e.id)
 	}
 	return rep
+}
+
+// transferWithRetry drives one measurement across the Flush channel
+// with bounded exponential backoff. corrupt, when non-nil, mutates each
+// reassembled payload past the CRC — the decode/validation layer must
+// catch it, and a caught corruption costs a retry like any loss.
+func (s *Server) transferWithRetry(e *entry, payload []byte, corrupt func([]byte), rep *IngestReport) (*store.Record, int, bool) {
+	cfg := s.cfg.Retry
+	delay := cfg.BaseDelaySeconds
+	for attempt := 1; ; attempt++ {
+		delivered, stats, err := flush.Transfer(payload, e.forward, e.reverse)
+		rep.PacketsSent += stats.PacketsSent
+		rep.Retransmissions += stats.Retransmissions
+		if err == nil {
+			if corrupt != nil {
+				corrupt(delivered)
+			}
+			rec, derr := decodePayload(delivered)
+			// A record claiming another mote's pump id is corruption
+			// that survived both the CRC and the codec framing.
+			if derr == nil && rec.PumpID == e.id {
+				return rec, attempt, true
+			}
+		}
+		if attempt >= cfg.MaxAttempts {
+			return nil, attempt, false
+		}
+		rep.Retries++
+		rep.BackoffSeconds += jittered(delay, cfg.JitterFrac, e.jitter)
+		delay *= 2
+		if delay > cfg.MaxDelaySeconds {
+			delay = cfg.MaxDelaySeconds
+		}
+	}
+}
+
+// storeWithRetry ingests one record, retrying injected store write
+// errors under the same backoff budget as transfers.
+func (s *Server) storeWithRetry(e *entry, rec *store.Record, rep *IngestReport) bool {
+	cfg := s.cfg.Retry
+	delay := cfg.BaseDelaySeconds
+	for attempt := 1; ; attempt++ {
+		var err error
+		if s.cfg.Faults != nil {
+			err = s.cfg.Faults.OnStore(e.id)
+		}
+		if err == nil {
+			if s.store.AddUnique(rec) {
+				rep.Stored++
+			} else {
+				rep.Duplicates++
+			}
+			return true
+		}
+		if attempt >= cfg.MaxAttempts {
+			rep.StoreFailures++
+			return false
+		}
+		rep.Retries++
+		rep.BackoffSeconds += jittered(delay, cfg.JitterFrac, e.jitter)
+		delay *= 2
+		if delay > cfg.MaxDelaySeconds {
+			delay = cfg.MaxDelaySeconds
+		}
+	}
+}
+
+func jittered(delay, frac float64, rng *rand.Rand) float64 {
+	return delay * (1 + frac*(2*rng.Float64()-1))
+}
+
+// drainDelayedLocked stores every chaos-delayed record of e. Caller
+// holds e.mu.
+func (s *Server) drainDelayedLocked(e *entry, rep *IngestReport) {
+	for _, rec := range e.delayed {
+		if s.storeWithRetry(e, rec, rep) {
+			rep.Reordered++
+		}
+	}
+	e.delayed = e.delayed[:0]
+}
+
+// Drain flushes every outstanding chaos-delayed record into the store —
+// the end-of-run pass a soak harness uses so nothing stays in flight.
+func (s *Server) Drain() IngestReport {
+	var merged IngestReport
+	for _, e := range s.entries() {
+		e.mu.Lock()
+		rep := IngestReport{RetryHistogram: make(map[int]int)}
+		s.drainDelayedLocked(e, &rep)
+		e.mu.Unlock()
+		merged.merge(rep)
+	}
+	return merged
 }
 
 // recordFromMeasurement converts a sensor capture into a store record.
@@ -232,22 +610,21 @@ type MoteStatus struct {
 	Transfers     int
 	Failures      int
 	Produced      int
+	// Quarantined reports whether the mote's breaker was open at the
+	// last observed wakeup.
+	Quarantined bool
+	// BreakerTrips counts how often the breaker opened.
+	BreakerTrips int
 }
 
 // Status returns the status of every registered mote, ordered by id.
 func (s *Server) Status() []MoteStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ids := make([]int, 0, len(s.motes))
-	for id := range s.motes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	out := make([]MoteStatus, 0, len(ids))
-	for _, id := range ids {
-		e := s.motes[id]
+	ents := s.entries()
+	out := make([]MoteStatus, 0, len(ents))
+	for _, e := range ents {
+		e.mu.Lock()
 		out = append(out, MoteStatus{
-			ID:            id,
+			ID:            e.id,
 			State:         e.m.State(),
 			Dead:          e.dead,
 			LastHeartbeat: e.lastHeartbeat,
@@ -255,7 +632,10 @@ func (s *Server) Status() []MoteStatus {
 			Transfers:     e.transfers,
 			Failures:      e.failures,
 			Produced:      e.m.Produced(),
+			Quarantined:   e.m.NextWakeDays() < e.quarantinedUntil,
+			BreakerTrips:  e.breakerTrips,
 		})
+		e.mu.Unlock()
 	}
 	return out
 }
@@ -275,10 +655,12 @@ func (s *Server) DeadMotes() []int {
 // the server-side control path used by the adaptive scheduler.
 func (s *Server) SetReportPeriod(moteID int, hours float64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.motes[moteID]
+	s.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("gateway: unknown mote %d", moteID)
+		return fmt.Errorf("%w: %d", ErrUnknownMote, moteID)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.m.SetReportPeriod(hours)
 }

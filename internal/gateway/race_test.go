@@ -1,0 +1,210 @@
+package gateway_test
+
+// Race-focused concurrency tests: the whole fleet ingests in parallel
+// through gateway.Server under an active chaos fault plan. Run with
+// `go test -race ./internal/gateway/`. The per-mote locking means the
+// goroutines genuinely overlap inside the server — the old
+// coarse-mutex design serialized them, which these tests would expose
+// as zero parallel speedup and the -race build as unsynchronized state.
+
+import (
+	"sync"
+	"testing"
+
+	"vibepm/internal/chaos"
+	"vibepm/internal/gateway"
+	"vibepm/internal/mems"
+	"vibepm/internal/mote"
+	"vibepm/internal/physics"
+)
+
+func buildFleet(t *testing.T, srv *gateway.Server, n int, reportHours float64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		pump := physics.NewPump(physics.PumpConfig{ID: i, Seed: int64(i) + 1})
+		sensor, err := mems.New(mems.Config{Seed: int64(i) + 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := mote.New(mote.Config{
+			ID:                    i,
+			ReportPeriodHours:     reportHours,
+			SamplesPerMeasurement: 64,
+		}, sensor, pump)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Register(m, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func hostileInjector(seed int64) *chaos.Injector {
+	plan, err := chaos.Preset("hostile", seed)
+	if err != nil {
+		panic(err)
+	}
+	return chaos.NewInjector(plan)
+}
+
+// TestConcurrentIngestionUnderFaultPlan drives ≥ 8 motes from one
+// goroutine each through AdvanceMote while Status/Store readers poke
+// the server — the -race acceptance scenario.
+func TestConcurrentIngestionUnderFaultPlan(t *testing.T) {
+	const motes = 10
+	srv := gateway.New(gateway.Config{
+		Faults: hostileInjector(7),
+		Retry:  gateway.RetryConfig{MaxAttempts: 3, Seed: 7},
+	})
+	buildFleet(t, srv, motes, 6)
+
+	const days = 4
+	var wg sync.WaitGroup
+	reports := make([]gateway.IngestReport, motes)
+	for id := 0; id < motes; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for day := 1; day <= days; day++ {
+				rep, err := srv.AdvanceMote(id, float64(day))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				merge(&reports[id], rep)
+			}
+		}(id)
+	}
+	// Concurrent readers exercise the registry and store read paths.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			srv.Status()
+			srv.Store().Len()
+			srv.DeadMotes()
+		}
+	}()
+	wg.Wait()
+	merge(&reports[0], srv.Drain())
+
+	var total gateway.IngestReport
+	for i := range reports {
+		merge(&total, reports[i])
+	}
+	var produced int
+	for _, st := range srv.Status() {
+		produced += st.Produced
+	}
+	if produced == 0 || total.Stored == 0 {
+		t.Fatalf("fleet ingested nothing: produced %d stored %d", produced, total.Stored)
+	}
+	// The accounting invariant: nothing silently dropped, even under an
+	// active hostile plan with concurrent ingestion.
+	accounted := total.Stored + total.TransferFailures + total.StoreFailures +
+		total.Quarantined + total.CrashDrops
+	if accounted != produced {
+		t.Fatalf("accounting broke under concurrency: accounted %d produced %d (%+v)",
+			accounted, produced, total)
+	}
+}
+
+// TestConcurrentMatchesSequential asserts seeded chaos ingestion is
+// bit-identical whether the fleet advances in parallel or one mote at a
+// time — the scheduling-independence property the soak harness's golden
+// report rests on.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	const motes = 8
+	type outcome struct {
+		stored, failures, packets int
+		perMote                   []int
+	}
+	runFleet := func(workers int) outcome {
+		srv := gateway.New(gateway.Config{
+			Faults:  hostileInjector(11),
+			Retry:   gateway.RetryConfig{MaxAttempts: 3, Seed: 11},
+			Workers: workers,
+		})
+		buildFleet(t, srv, motes, 6)
+		var total gateway.IngestReport
+		for day := 1; day <= 3; day++ {
+			rep := srv.Advance(float64(day))
+			merge(&total, rep)
+		}
+		merge(&total, srv.Drain())
+		var o outcome
+		o.stored = total.Stored
+		o.failures = total.TransferFailures
+		o.packets = total.PacketsSent
+		for id := 0; id < motes; id++ {
+			o.perMote = append(o.perMote, len(srv.Store().All(id)))
+		}
+		return o
+	}
+	seq := runFleet(1)
+	for _, workers := range []int{0, 4} {
+		par := runFleet(workers)
+		if par.stored != seq.stored || par.failures != seq.failures || par.packets != seq.packets {
+			t.Fatalf("workers=%d diverged: %+v vs sequential %+v", workers, par, seq)
+		}
+		for id := range seq.perMote {
+			if par.perMote[id] != seq.perMote[id] {
+				t.Fatalf("workers=%d mote %d stored %d vs %d", workers, id, par.perMote[id], seq.perMote[id])
+			}
+		}
+	}
+}
+
+// TestParallelRegistrationAndIngestion registers late joiners while the
+// fleet is already ingesting — registry mutation racing transfers.
+func TestParallelRegistrationAndIngestion(t *testing.T) {
+	srv := gateway.New(gateway.Config{Faults: hostileInjector(13)})
+	buildFleet(t, srv, 4, 6)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for day := 1; day <= 3; day++ {
+			srv.Advance(float64(day))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 4; i < 8; i++ {
+			pump := physics.NewPump(physics.PumpConfig{ID: i, Seed: int64(i) + 1})
+			sensor, err := mems.New(mems.Config{Seed: int64(i) + 100})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m, err := mote.New(mote.Config{ID: i, ReportPeriodHours: 6, SamplesPerMeasurement: 64}, sensor, pump)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := srv.Register(m, 0); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	srv.Advance(4)
+	if got := len(srv.Status()); got != 8 {
+		t.Fatalf("registry lost motes: %d", got)
+	}
+}
+
+func merge(dst *gateway.IngestReport, src gateway.IngestReport) {
+	dst.Stored += src.Stored
+	dst.Recovered += src.Recovered
+	dst.Reordered += src.Reordered
+	dst.Duplicates += src.Duplicates
+	dst.TransferFailures += src.TransferFailures
+	dst.StoreFailures += src.StoreFailures
+	dst.Quarantined += src.Quarantined
+	dst.CrashDrops += src.CrashDrops
+	dst.Retries += src.Retries
+	dst.PacketsSent += src.PacketsSent
+	dst.Retransmissions += src.Retransmissions
+}

@@ -135,6 +135,14 @@ func (m *Mote) SetReportPeriod(hours float64) error {
 // ReportPeriodHours returns the current wakeup interval.
 func (m *Mote) ReportPeriodHours() float64 { return m.cfg.ReportPeriodHours }
 
+// Kill forces the mote into permanent death — the hardware-fault path a
+// fault-injection harness drives. The battery is zeroed so the death is
+// indistinguishable from exhaustion to every observer.
+func (m *Mote) Kill() {
+	m.battery = 0
+	m.state = StateDead
+}
+
 // Boot performs the boot-up notification: the mote becomes sleeping
 // with its first wakeup slot at startDays (assigned by the management
 // server).

@@ -14,6 +14,12 @@ import (
 // goroutines and returns when all calls complete. workers <= 0 selects
 // GOMAXPROCS. fn must be safe for concurrent invocation with distinct
 // indices.
+//
+// A panic in fn does not crash the worker pool: the first panic value
+// is captured, the remaining indices are abandoned, and the panic is
+// re-raised in the caller once every worker has stopped — mirroring the
+// sequential loop's behaviour closely enough that callers can recover
+// at the ForEach call site.
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -32,10 +38,21 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+					// Park the index counter past n so the surviving
+					// workers drain quickly instead of burning through
+					// the rest of the input.
+					next.Store(int64(n))
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -46,10 +63,17 @@ func ForEach(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // Map applies fn to every index and collects the results in order.
+// n <= 0 yields an empty slice.
 func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
 	out := make([]T, n)
 	ForEach(n, workers, func(i int) {
 		out[i] = fn(i)

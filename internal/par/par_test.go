@@ -1,6 +1,7 @@
 package par
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -49,6 +50,129 @@ func TestMapOrderIndependentOfScheduling(t *testing.T) {
 	}
 	if len(Map(0, 4, func(i int) int { return i })) != 0 {
 		t.Fatal("empty map")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	// The first panic in a worker must surface at the ForEach call site
+	// — same contract as the sequential loop — for every worker count.
+	for _, workers := range []int{1, 2, 8, 100} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(50, workers, func(i int) {
+				if i == 17 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachPanicDoesNotDeadlockOrLeakWork(t *testing.T) {
+	// After a panic, ForEach must still return (no hung WaitGroup) and
+	// must not have run every remaining index: the pool drains early.
+	var ran atomic.Int32
+	func() {
+		defer func() { recover() }()
+		ForEach(100000, 4, func(i int) {
+			if i == 0 {
+				panic("early")
+			}
+			ran.Add(1)
+		})
+	}()
+	if got := ran.Load(); got >= 100000 {
+		t.Fatalf("pool did not drain early: ran %d of 100000", got)
+	}
+	// The pool is reusable after a propagated panic.
+	var count atomic.Int32
+	ForEach(10, 4, func(int) { count.Add(1) })
+	if count.Load() != 10 {
+		t.Fatalf("pool broken after panic: %d", count.Load())
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Map swallowed the panic")
+		}
+	}()
+	Map(10, 4, func(i int) int {
+		if i == 3 {
+			panic(fmt.Sprintf("index %d", i))
+		}
+		return i
+	})
+}
+
+func TestForEachWorkersExceedN(t *testing.T) {
+	// More workers than items must neither deadlock nor double-visit.
+	const n = 7
+	var hits [n]atomic.Int32
+	ForEach(n, 64, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times with surplus workers", i, got)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	for _, n := range []int{0, -1, -1000} {
+		called := atomic.Int32{}
+		ForEach(n, 8, func(int) { called.Add(1) })
+		if called.Load() != 0 {
+			t.Fatalf("n=%d invoked fn %d times", n, called.Load())
+		}
+		if got := Map(n, 8, func(i int) int { return i }); len(got) != 0 {
+			t.Fatalf("n=%d Map returned %d results", n, len(got))
+		}
+	}
+}
+
+// TestForEachSharedSliceStress is the -race workhorse: many goroutine
+// pools writing disjoint indices of shared slices, exactly the pattern
+// the engine's feature extraction and the gateway's parallel Advance
+// rely on. Any unsynchronized access trips the race detector.
+func TestForEachSharedSliceStress(t *testing.T) {
+	const n = 4096
+	for round := 0; round < 8; round++ {
+		shared := make([]int, n)
+		checks := make([]float64, n)
+		ForEach(n, 16, func(i int) {
+			shared[i] = i * i
+			checks[i] = float64(i) / 3
+		})
+		for i := range shared {
+			if shared[i] != i*i {
+				t.Fatalf("round %d: index %d = %d", round, i, shared[i])
+			}
+		}
+	}
+}
+
+// TestMapNestedPools runs Map inside ForEach — the shape of
+// engine-over-gateway workloads — to prove pools compose without
+// deadlock or cross-talk.
+func TestMapNestedPools(t *testing.T) {
+	outer := Map(8, 4, func(i int) []int {
+		return Map(16, 2, func(j int) int { return i*100 + j })
+	})
+	for i, inner := range outer {
+		for j, v := range inner {
+			if v != i*100+j {
+				t.Fatalf("outer %d inner %d = %d", i, j, v)
+			}
+		}
 	}
 }
 

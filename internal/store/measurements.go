@@ -42,6 +42,29 @@ func (m *Measurements) Add(rec *Record) {
 	m.count++
 }
 
+// AddUnique inserts rec unless the pump already holds a record at the
+// same service time, reporting whether the insert happened. This is the
+// idempotent ingestion path: a transport layer that re-delivers a
+// measurement (duplicate transfer, retry racing a success) cannot
+// inflate the series.
+func (m *Measurements) AddUnique(rec *Record) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	series := m.byPump[rec.PumpID]
+	i := sort.Search(len(series), func(i int) bool {
+		return series[i].ServiceDays >= rec.ServiceDays
+	})
+	if i < len(series) && series[i].ServiceDays == rec.ServiceDays {
+		return false
+	}
+	series = append(series, nil)
+	copy(series[i+1:], series[i:])
+	series[i] = rec
+	m.byPump[rec.PumpID] = series
+	m.count++
+	return true
+}
+
 // Len returns the total number of stored records.
 func (m *Measurements) Len() int {
 	m.mu.RLock()
