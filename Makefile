@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-dsp experiments experiments-paper chaos cover fuzz clean
+.PHONY: all build test vet race bench bench-dsp bench-snapshot bench-check experiments experiments-paper chaos cover fuzz clean
 
 all: build vet test
 
@@ -26,6 +26,15 @@ bench:
 
 bench-dsp:
 	$(GO) test -bench=. -benchmem ./internal/dsp/
+
+# Refresh the committed hot-path snapshot (BENCH_PR2.json).
+bench-snapshot:
+	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR2.json
+
+# Re-run the hot-path suite and fail if any case drifts more than ±30%
+# from the committed snapshot (or regresses its allocation count).
+bench-check:
+	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR2.json
 
 # Regenerate every table and figure at the default (medium) scale.
 experiments:

@@ -1,0 +1,62 @@
+package vibepm
+
+import (
+	"fmt"
+
+	"vibepm/internal/par"
+)
+
+// FleetAnalysis is the full-fleet snapshot AnalyzeAll produces: one row
+// per analyzable pump in ascending pump-id order, plus the fleet-level
+// decision boundary and lifetime-model count. The ordering and every
+// field are deterministic for a given store and fitted engine,
+// regardless of GOMAXPROCS — the golden equivalence tests rely on the
+// serialized report being byte-identical between sequential and
+// parallel runs.
+type FleetAnalysis struct {
+	// Boundary is the learned BC/D decision boundary on D_a.
+	Boundary float64 `json:"boundary"`
+	// Models is the number of learned lifetime models (0 before
+	// LearnLifetimeModels).
+	Models int `json:"models"`
+	// Pumps holds one report per analyzable pump, ascending by pump id.
+	Pumps []PumpReport `json:"pumps"`
+	// Skipped lists pump ids whose report failed (no measurements or no
+	// scorable record), ascending.
+	Skipped []int `json:"skipped,omitempty"`
+}
+
+// AnalyzeAll analyzes every pump in the store concurrently: each pump's
+// latest measurement is scored and classified, and — when lifetime
+// models have been learned and ageOf is non-nil — its cleaned trend is
+// projected to an RUL estimate. Per-pump work fans out across
+// GOMAXPROCS workers; results are collected in ascending pump order, so
+// the report is bit-identical to a sequential pass.
+func (e *Engine) AnalyzeAll(ageOf AgeFunc) (*FleetAnalysis, error) {
+	if !e.Fitted() {
+		return nil, ErrNotFitted
+	}
+	pumps := e.measurements.Pumps()
+	if len(pumps) == 0 {
+		return nil, fmt.Errorf("%w: empty measurement store", ErrNoData)
+	}
+	reports := par.Map(len(pumps), 0, func(i int) *PumpReport {
+		rep, err := e.Report(pumps[i], ageOf)
+		if err != nil {
+			return nil
+		}
+		return rep
+	})
+	out := &FleetAnalysis{Boundary: e.boundary}
+	if e.models != nil {
+		out.Models = len(e.models.Models)
+	}
+	for i, rep := range reports {
+		if rep == nil {
+			out.Skipped = append(out.Skipped, pumps[i])
+			continue
+		}
+		out.Pumps = append(out.Pumps, *rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package vibepm_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"vibepm/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fleetSnapshot runs the full pipeline — corpus generation, Fit,
+// LearnLifetimeModels, AnalyzeAll — on a fresh Small corpus and returns
+// the serialized fleet report.
+func fleetSnapshot(t *testing.T) []byte {
+	t.Helper()
+	c, err := experiments.NewCorpus(experiments.Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Engine.LearnLifetimeModels(c.AgeOf); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := c.Engine.AnalyzeAll(c.AgeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.MarshalIndent(fleet, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestAnalyzeAllParallelEquivalence is the golden equivalence check of
+// the parallel analysis path: the full AnalyzeAll report over the Small
+// corpus must be byte-identical whether the per-pump and per-record
+// fan-outs run on one worker or many, and must match the committed
+// golden file (regenerate with `go test -run AnalyzeAll -update`).
+func TestAnalyzeAllParallelEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	seq := fleetSnapshot(t)
+
+	workers := prev
+	if workers < 4 {
+		// Force real goroutine interleaving even on single-core hosts.
+		workers = 4
+	}
+	runtime.GOMAXPROCS(workers)
+	par := fleetSnapshot(t)
+
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("fleet report differs between GOMAXPROCS=1 and %d:\nseq: %s\npar: %s", workers, seq, par)
+	}
+
+	goldenPath := filepath.Join("testdata", "fleet_small.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, seq, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(seq, want) {
+		t.Errorf("fleet report drifted from golden file %s\ngot:  %s\nwant: %s", goldenPath, seq, want)
+	}
+}
+
+// TestFleetReportMatchesAnalyzeAll pins the urgency-ordered FleetReport
+// to the same underlying per-pump rows AnalyzeAll produces.
+func TestFleetReportMatchesAnalyzeAll(t *testing.T) {
+	c, err := experiments.NewCorpus(experiments.Small, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Engine.LearnLifetimeModels(c.AgeOf); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := c.Engine.AnalyzeAll(c.AgeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := c.Engine.FleetReport(c.AgeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(fleet.Pumps) {
+		t.Fatalf("FleetReport has %d rows, AnalyzeAll %d", len(reports), len(fleet.Pumps))
+	}
+	byID := map[int]bool{}
+	for _, p := range fleet.Pumps {
+		byID[p.PumpID] = true
+	}
+	for _, r := range reports {
+		if !byID[r.PumpID] {
+			t.Errorf("FleetReport pump %d missing from AnalyzeAll", r.PumpID)
+		}
+	}
+}

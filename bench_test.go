@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"vibepm"
 	"vibepm/internal/experiments"
 )
 
@@ -27,6 +28,23 @@ func corpus(b *testing.B) *experiments.Corpus {
 		b.Fatal(benchErr)
 	}
 	return benchCorpus
+}
+
+// BenchmarkEngineFitSmall measures the full training pipeline — label
+// pairing, baseline training, parallel corpus-wide feature extraction,
+// classifier and density fits — on a fresh engine over the shared
+// small-scale stores each iteration.
+func BenchmarkEngineFitSmall(b *testing.B) {
+	c := corpus(b)
+	ds := c.Dataset
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		eng := vibepm.NewWithStores(vibepm.Options{}, ds.Measurements, ds.Labels)
+		if err := eng.Fit(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkTable1SensorSpecs(b *testing.B) {

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"vibepm"
+	"vibepm/internal/dsp"
+	"vibepm/internal/experiments"
+	"vibepm/internal/feature"
+)
+
+// benchResult is one benchmark's snapshot row. The baseline_* fields
+// preserve the numbers measured at the seed commit, before the plan
+// cache / buffer pooling work, so the committed snapshot documents the
+// before/after of the optimization in one place.
+type benchResult struct {
+	NsPerOp             float64 `json:"ns_per_op"`
+	BytesPerOp          int64   `json:"bytes_per_op"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
+}
+
+// benchSnapshot is the machine-readable artifact vibebench -benchout
+// writes and -benchgate compares against.
+type benchSnapshot struct {
+	Note       string                 `json:"note"`
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Results    map[string]benchResult `json:"results"`
+}
+
+// prePR2Baseline holds the hot-path timings measured at the seed commit
+// on the reference machine, before plan caching and pooling landed.
+var prePR2Baseline = map[string]benchResult{
+	"FFT1024":          {NsPerOp: 19997, AllocsPerOp: 0},
+	"FFTBluestein1000": {NsPerOp: 184900, AllocsPerOp: 3},
+	"DCT1024":          {NsPerOp: 108185, AllocsPerOp: 2},
+	"PSDDCT1024":       {NsPerOp: 106330, AllocsPerOp: 4},
+	"Welch16k":         {NsPerOp: 1003968, AllocsPerOp: 97},
+	"STFT16k":          {NsPerOp: 1099159, AllocsPerOp: 139},
+	"Envelope4096":     {NsPerOp: 258313, AllocsPerOp: 2},
+	"HarmonicExtract":  {NsPerOp: 51771, AllocsPerOp: 15},
+	"EngineFitSmall":   {NsPerOp: 72790009, AllocsPerOp: 5716},
+}
+
+// benchCase is one entry of the regression-gated suite. It mirrors the
+// matching go-test benchmark of the hot path, so the snapshot can be
+// produced and gated without parsing `go test -bench` text output.
+type benchCase struct {
+	name string
+	run  func(b *testing.B)
+}
+
+func benchSignal(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// benchFeaturePSD mirrors the synthetic harmonic-series spectrum of the
+// feature package's benchmarks.
+func benchFeaturePSD(n int) (freq, psd []float64) {
+	rng := rand.New(rand.NewSource(7))
+	freq = make([]float64, n)
+	psd = make([]float64, n)
+	for i := range freq {
+		freq[i] = float64(i) * 3200.0 / (2 * float64(n))
+	}
+	for i := range psd {
+		psd[i] = 1e-6 * (1 + 0.3*rng.Float64())
+	}
+	for h := 1; h <= 12; h++ {
+		center := 50 * h * n / 1600
+		if center >= n-2 {
+			break
+		}
+		for d := -2; d <= 2; d++ {
+			psd[center+d] += 1e-3 / float64(h) * math.Exp(-float64(d*d))
+		}
+	}
+	return freq, psd
+}
+
+// benchSuite assembles the hot-path suite. Corpus generation happens
+// once, up front, so it is excluded from every timing.
+func benchSuite() ([]benchCase, error) {
+	corpus, err := experiments.NewCorpus(experiments.Small, 1)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	hFreq, hPSD := benchFeaturePSD(1024)
+	return []benchCase{
+		{"FFT1024", func(b *testing.B) {
+			x := benchSignal(1024)
+			buf := make([]complex128, 1024)
+			b.ReportAllocs()
+			for b.Loop() {
+				for j, v := range x {
+					buf[j] = complex(v, 0)
+				}
+				dsp.FFT(buf)
+			}
+		}},
+		{"FFTBluestein1000", func(b *testing.B) {
+			x := benchSignal(1000)
+			buf := make([]complex128, 1000)
+			b.ReportAllocs()
+			for b.Loop() {
+				for j, v := range x {
+					buf[j] = complex(v, 0)
+				}
+				dsp.FFT(buf)
+			}
+		}},
+		{"DCT1024", func(b *testing.B) {
+			x := benchSignal(1024)
+			dst := make([]float64, 1024)
+			b.ReportAllocs()
+			for b.Loop() {
+				dsp.DCTInto(dst, x)
+			}
+		}},
+		{"PSDDCT1024", func(b *testing.B) {
+			x := benchSignal(1024)
+			dst := make([]float64, 1024)
+			b.ReportAllocs()
+			for b.Loop() {
+				dsp.PSDDCTInto(dst, x)
+			}
+		}},
+		{"Welch16k", func(b *testing.B) {
+			x := benchSignal(16384)
+			cfg := dsp.WelchConfig{SegmentLength: 1024, Overlap: 0.5}
+			freq := make([]float64, 1024/2+1)
+			psd := make([]float64, 1024/2+1)
+			b.ReportAllocs()
+			for b.Loop() {
+				if err := dsp.WelchInto(freq, psd, x, 1000, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"STFT16k", func(b *testing.B) {
+			x := benchSignal(16384)
+			cfg := dsp.STFTConfig{FrameLength: 1024, HopLength: 512}
+			var sg dsp.Spectrogram
+			b.ReportAllocs()
+			for b.Loop() {
+				if err := dsp.STFTInto(&sg, x, 1000, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Envelope4096", func(b *testing.B) {
+			x := benchSignal(4096)
+			dst := make([]float64, 4096)
+			b.ReportAllocs()
+			for b.Loop() {
+				dsp.EnvelopeInto(dst, x)
+			}
+		}},
+		{"HarmonicExtract", func(b *testing.B) {
+			b.ReportAllocs()
+			for b.Loop() {
+				feature.ExtractHarmonic(hFreq, hPSD, feature.Options{})
+			}
+		}},
+		{"EngineFitSmall", func(b *testing.B) {
+			ds := corpus.Dataset
+			b.ReportAllocs()
+			for b.Loop() {
+				eng := vibepm.NewWithStores(vibepm.Options{}, ds.Measurements, ds.Labels)
+				if err := eng.Fit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}, nil
+}
+
+// runBenchSuite executes every case via testing.Benchmark and collects
+// the snapshot, printing progress as it goes.
+func runBenchSuite() (*benchSnapshot, error) {
+	suite, err := benchSuite()
+	if err != nil {
+		return nil, err
+	}
+	snap := &benchSnapshot{
+		Note:       "hot-path benchmark snapshot; regenerate with `make bench-snapshot`, gate with `make bench-check`",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    make(map[string]benchResult, len(suite)),
+	}
+	for _, c := range suite {
+		r := testing.Benchmark(c.run)
+		res := benchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if base, ok := prePR2Baseline[c.name]; ok {
+			res.BaselineNsPerOp = base.NsPerOp
+			res.BaselineAllocsPerOp = base.AllocsPerOp
+		}
+		snap.Results[c.name] = res
+		fmt.Printf("%-20s %12.0f ns/op %8d B/op %6d allocs/op", c.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		if res.BaselineNsPerOp > 0 && res.NsPerOp > 0 {
+			fmt.Printf("   (%.2fx vs pre-optimization)", res.BaselineNsPerOp/res.NsPerOp)
+		}
+		fmt.Println()
+	}
+	return snap, nil
+}
+
+// gateSnapshot compares a fresh run against the committed snapshot.
+// A case slower than (1+tol)× the committed time, allocating beyond the
+// committed count (with a small slack for pool refills), or missing
+// entirely fails the gate. Improvements beyond tol are reported as a
+// hint to refresh the snapshot but do not fail.
+func gateSnapshot(current, committed *benchSnapshot, tol float64) error {
+	names := make([]string, 0, len(committed.Results))
+	for name := range committed.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures int
+	for _, name := range names {
+		com := committed.Results[name]
+		cur, ok := current.Results[name]
+		if !ok {
+			fmt.Printf("GATE FAIL %-20s missing from current suite\n", name)
+			failures++
+			continue
+		}
+		switch {
+		case cur.NsPerOp > com.NsPerOp*(1+tol):
+			fmt.Printf("GATE FAIL %-20s %.0f ns/op vs committed %.0f (+%.0f%% > +%.0f%%)\n",
+				name, cur.NsPerOp, com.NsPerOp, 100*(cur.NsPerOp/com.NsPerOp-1), 100*tol)
+			failures++
+		case cur.NsPerOp < com.NsPerOp*(1-tol):
+			fmt.Printf("GATE NOTE %-20s %.0f ns/op vs committed %.0f — faster by more than %.0f%%; refresh the snapshot\n",
+				name, cur.NsPerOp, com.NsPerOp, 100*tol)
+		}
+		allowed := int64(float64(com.AllocsPerOp)*(1+tol)) + 2
+		if cur.AllocsPerOp > allowed {
+			fmt.Printf("GATE FAIL %-20s %d allocs/op vs committed %d (allowed %d)\n",
+				name, cur.AllocsPerOp, com.AllocsPerOp, allowed)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("benchmark gate: %d failure(s) beyond ±%.0f%% tolerance", failures, 100*tol)
+	}
+	return nil
+}
+
+// runBenchCommand implements the -bench / -benchout / -benchgate flags
+// and returns the process exit code.
+func runBenchCommand(outPath, gatePath string, tol float64) int {
+	snap, err := runBenchSuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", outPath, err)
+			return 1
+		}
+		fmt.Printf("snapshot written to %s\n", outPath)
+	}
+	if gatePath != "" {
+		data, err := os.ReadFile(gatePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: read committed snapshot: %v\n", err)
+			return 1
+		}
+		var committed benchSnapshot
+		if err := json.Unmarshal(data, &committed); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parse %s: %v\n", gatePath, err)
+			return 1
+		}
+		if err := gateSnapshot(snap, &committed, tol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("benchmark gate passed (±%.0f%% vs %s)\n", 100*tol, gatePath)
+	}
+	return 0
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"vibepm/internal/core"
 	"vibepm/internal/feature"
@@ -65,7 +66,10 @@ type Engine struct {
 	// the pump's record count is unchanged and the same baseline is in
 	// force. The repeated-experiment pattern (Table IV, headline,
 	// ablations over the same corpus) otherwise recomputes identical
-	// 100k-measurement scans.
+	// 100k-measurement scans. trendMu guards the map: fleet-wide passes
+	// (LearnLifetimeModels, AnalyzeAll) run CleanTrend for distinct
+	// pumps concurrently.
+	trendMu    sync.Mutex
 	trendCache map[int]trendCacheEntry
 }
 
@@ -105,7 +109,9 @@ func (e *Engine) Labels() *Labels { return e.labels }
 // Ingest adds one measurement.
 func (e *Engine) Ingest(rec *Record) {
 	e.measurements.Add(rec)
+	e.trendMu.Lock()
 	delete(e.trendCache, rec.PumpID)
+	e.trendMu.Unlock()
 }
 
 // AddLabel adds one expert label.
@@ -269,7 +275,10 @@ func (e *Engine) CleanTrend(pumpID int, ageOf AgeFunc) ([]TrendPoint, error) {
 	// The cached D_a series is age-agnostic only when ageOf is pure; it
 	// is keyed on the record count and baseline, and ages are reapplied
 	// below. Cache the (day, Da) pairs instead of the final points.
-	if entry, ok := e.trendCache[pumpID]; ok && entry.recordCount == len(recs) && entry.baseline == e.baseline {
+	e.trendMu.Lock()
+	entry, ok := e.trendCache[pumpID]
+	e.trendMu.Unlock()
+	if ok && entry.recordCount == len(recs) && entry.baseline == e.baseline {
 		out := make([]TrendPoint, len(entry.trend))
 		copy(out, entry.trend)
 		for i := range out {
@@ -313,10 +322,12 @@ func (e *Engine) CleanTrend(pumpID int, ageOf AgeFunc) ([]TrendPoint, error) {
 	for i := range days {
 		cached[i] = TrendPoint{AgeDays: days[i], Da: smoothed[i]}
 	}
+	e.trendMu.Lock()
 	if e.trendCache == nil {
 		e.trendCache = map[int]trendCacheEntry{}
 	}
 	e.trendCache[pumpID] = trendCacheEntry{recordCount: len(recs), baseline: e.baseline, trend: cached}
+	e.trendMu.Unlock()
 	out := make([]TrendPoint, len(days))
 	for i := range days {
 		out[i] = TrendPoint{AgeDays: ageOf(pumpID, days[i]), Da: smoothed[i]}
@@ -332,12 +343,19 @@ func (e *Engine) LearnLifetimeModels(ageOf AgeFunc) (*LifetimeModels, error) {
 	if !e.Fitted() {
 		return nil, ErrNotFitted
 	}
-	var points []TrendPoint
-	for _, pumpID := range e.measurements.Pumps() {
-		trend, err := e.CleanTrend(pumpID, ageOf)
+	// Clean every pump's trend concurrently; trends are concatenated in
+	// ascending pump order afterwards, so the point stream RANSAC sees is
+	// identical to the sequential loop's.
+	pumps := e.measurements.Pumps()
+	trends := par.Map(len(pumps), 0, func(i int) []TrendPoint {
+		trend, err := e.CleanTrend(pumps[i], ageOf)
 		if err != nil {
-			continue
+			return nil
 		}
+		return trend
+	})
+	var points []TrendPoint
+	for _, trend := range trends {
 		points = append(points, trend...)
 	}
 	if len(points) == 0 {

@@ -18,7 +18,7 @@ func BenchmarkFFT1024(b *testing.B) {
 	x := benchSignal(1024)
 	buf := make([]complex128, 1024)
 	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	for b.Loop() {
 		for j, v := range x {
 			buf[j] = complex(v, 0)
 		}
@@ -28,9 +28,9 @@ func BenchmarkFFT1024(b *testing.B) {
 
 func BenchmarkFFTBluestein1000(b *testing.B) {
 	x := benchSignal(1000)
+	buf := make([]complex128, 1000)
 	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		buf := make([]complex128, 1000)
+	for b.Loop() {
 		for j, v := range x {
 			buf[j] = complex(v, 0)
 		}
@@ -40,17 +40,53 @@ func BenchmarkFFTBluestein1000(b *testing.B) {
 
 func BenchmarkDCT1024(b *testing.B) {
 	x := benchSignal(1024)
+	dst := make([]float64, 1024)
 	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		DCT(x)
+	for b.Loop() {
+		DCTInto(dst, x)
 	}
 }
 
 func BenchmarkPSDDCT1024(b *testing.B) {
 	x := benchSignal(1024)
+	dst := make([]float64, 1024)
 	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		PSDDCT(x)
+	for b.Loop() {
+		PSDDCTInto(dst, x)
+	}
+}
+
+func BenchmarkWelch16k(b *testing.B) {
+	x := benchSignal(16384)
+	cfg := WelchConfig{SegmentLength: 1024, Overlap: 0.5}
+	freq := make([]float64, 1024/2+1)
+	psd := make([]float64, 1024/2+1)
+	b.ReportAllocs()
+	for b.Loop() {
+		if err := WelchInto(freq, psd, x, 1000, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTFT16k(b *testing.B) {
+	x := benchSignal(16384)
+	cfg := STFTConfig{FrameLength: 1024, HopLength: 512}
+	var sg Spectrogram
+	b.ReportAllocs()
+	for b.Loop() {
+		if err := STFTInto(&sg, x, 1000, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvelope4096(b *testing.B) {
+	x := benchSignal(4096)
+	dst := make([]float64, 4096)
+	b.ReportAllocs()
+	for b.Loop() {
+		EnvelopeInto(dst, x)
 	}
 }
 
@@ -58,7 +94,7 @@ func BenchmarkSmoothConvolveHann24(b *testing.B) {
 	x := benchSignal(1024)
 	k := HannWindow(24)
 	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	for b.Loop() {
 		SmoothConvolve(x, k)
 	}
 }
@@ -70,7 +106,7 @@ func BenchmarkTopPeaks(b *testing.B) {
 		freq[i] = float64(i) * 2
 	}
 	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	for b.Loop() {
 		TopPeaks(freq, x, 20, 24)
 	}
 }

@@ -7,34 +7,47 @@ import "math"
 // Parseval's theorem holds exactly: sum(x^2) == sum(DCT(x)^2), which is
 // the identity the paper relies on to show that the PSD feature s_mn
 // alone spans the feature space ((rms)^2 == sum_k s_k).
-//
-// The transform is evaluated in O(K log K) by embedding the input in a
-// length-4K FFT; arbitrary K is supported.
 func DCT(x []float64) []float64 {
+	return DCTInto(make([]float64, len(x)), x)
+}
+
+// DCTInto is DCT writing the coefficients into dst, which is grown if
+// its capacity is short and returned resliced to len(x). dst and x may
+// not alias. The transform is evaluated in O(K log K) via Makhoul's
+// even-odd permutation: a single length-K FFT followed by a cached
+// cos/sin recombination, supporting arbitrary K. Steady-state calls with
+// an adequate dst are allocation-free.
+func DCTInto(dst, x []float64) []float64 {
 	n := len(x)
-	out := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
 	if n == 0 {
-		return out
+		return dst
 	}
 	if n == 1 {
-		out[0] = x[0]
-		return out
+		dst[0] = x[0]
+		return dst
 	}
-	// DCT-II via a length-4n FFT: place x at odd indices of the first
-	// half, mirrored into the second half.
-	buf := make([]complex128, 4*n)
-	for i := 0; i < n; i++ {
-		buf[2*i+1] = complex(x[i], 0)
-		buf[4*n-2*i-1] = complex(x[i], 0)
+	p := planDCT(n)
+	buf := getCBuf(n)
+	v := buf.s
+	// Even-odd permutation: v = [x0, x2, x4, ..., x5, x3, x1].
+	for i := 0; i < (n+1)/2; i++ {
+		v[i] = complex(x[2*i], 0)
 	}
-	FFT(buf)
-	// Orthonormal scaling: c0 = sqrt(1/n)·(raw/2), ck = sqrt(2/n)·(raw/2).
-	out[0] = real(buf[0]) / 2 * math.Sqrt(1/float64(n))
-	s := math.Sqrt(2 / float64(n))
+	for i := 0; i < n/2; i++ {
+		v[n-1-i] = complex(x[2*i+1], 0)
+	}
+	FFT(v)
+	// Raw DCT-II coefficient: C[k] = Re(e^{-iπk/(2n)} · V[k]).
+	dst[0] = real(v[0]) * p.scale0
 	for k := 1; k < n; k++ {
-		out[k] = real(buf[k]) / 2 * s
+		dst[k] = (real(v[k])*p.cosT[k] + imag(v[k])*p.sinT[k]) * p.scaleK
 	}
-	return out
+	putCBuf(buf)
+	return dst
 }
 
 // IDCT computes the inverse of DCT (the orthonormal DCT-III), so that

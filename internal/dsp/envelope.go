@@ -9,16 +9,28 @@ import "math"
 // the defect repetition rate becomes visible at low frequency; it backs
 // the envelope-spectrum extension feature.
 func Envelope(x []float64) []float64 {
+	return EnvelopeInto(make([]float64, len(x)), x)
+}
+
+// EnvelopeInto is Envelope writing into dst (grown if needed, returned
+// resliced to len(x)). The analytic-signal transform runs on cached
+// plans with pooled scratch, so steady-state calls with an adequate dst
+// are allocation-free.
+func EnvelopeInto(dst, x []float64) []float64 {
 	n := len(x)
-	out := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
 	if n == 0 {
-		return out
+		return dst
 	}
 	if n == 1 {
-		out[0] = math.Abs(x[0])
-		return out
+		dst[0] = math.Abs(x[0])
+		return dst
 	}
-	buf := make([]complex128, n)
+	cb := getCBuf(n)
+	buf := cb.s
 	for i, v := range x {
 		buf[i] = complex(v, 0)
 	}
@@ -36,11 +48,12 @@ func Envelope(x []float64) []float64 {
 		buf[k] = 0
 	}
 	IFFT(buf)
-	for i := range out {
+	for i := range dst {
 		re, im := real(buf[i]), imag(buf[i])
-		out[i] = math.Sqrt(re*re + im*im)
+		dst[i] = math.Sqrt(re*re + im*im)
 	}
-	return out
+	putCBuf(cb)
+	return dst
 }
 
 // EnvelopeSpectrum returns the one-sided periodogram of the demeaned
@@ -48,6 +61,9 @@ func Envelope(x []float64) []float64 {
 // defect passing frequencies appear directly regardless of which
 // high-frequency resonance carries them.
 func EnvelopeSpectrum(x []float64, fs float64) (freq, psd []float64, err error) {
-	env := Envelope(x)
-	return Periodogram(env, fs)
+	eb := getFBuf(len(x))
+	env := EnvelopeInto(eb.s, x)
+	freq, psd, err = Periodogram(env, fs)
+	putFBuf(eb)
+	return freq, psd, err
 }

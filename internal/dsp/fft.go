@@ -7,14 +7,15 @@
 // Everything is implemented on float64 slices with no external
 // dependencies. Transform sizes are arbitrary: power-of-two sizes use an
 // iterative radix-2 Cooley-Tukey FFT and other sizes fall back to
-// Bluestein's chirp-z algorithm.
+// Bluestein's chirp-z algorithm. Per-length setup (twiddle factors,
+// bit-reversal tables, chirp sequences) is computed once and cached in a
+// concurrency-safe plan registry, and transient work arrays come from
+// scratch pools, so steady-state transforms are allocation-free.
 package dsp
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
-	"math/cmplx"
 )
 
 // FFT computes the in-place forward discrete Fourier transform of x.
@@ -26,10 +27,10 @@ func FFT(x []complex128) {
 		return
 	}
 	if n&(n-1) == 0 {
-		fftRadix2(x, false)
+		planFFT(n).transform(x, false)
 		return
 	}
-	bluestein(x, false)
+	planBluestein(n).transform(x, false)
 }
 
 // IFFT computes the in-place inverse discrete Fourier transform of x,
@@ -41,9 +42,9 @@ func IFFT(x []complex128) {
 		return
 	}
 	if n&(n-1) == 0 {
-		fftRadix2(x, true)
+		planFFT(n).transform(x, true)
 	} else {
-		bluestein(x, true)
+		planBluestein(n).transform(x, true)
 	}
 	scale := complex(1/float64(n), 0)
 	for i := range x {
@@ -51,95 +52,35 @@ func IFFT(x []complex128) {
 	}
 }
 
-// fftRadix2 runs an iterative radix-2 Cooley-Tukey transform. inverse
-// selects the conjugate twiddle factors; normalization is the caller's
-// responsibility.
-func fftRadix2(x []complex128, inverse bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				even := x[start+k]
-				odd := x[start+k+half] * w
-				x[start+k] = even + odd
-				x[start+k+half] = even - odd
-				w *= wBase
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT as a convolution, which is
-// evaluated with power-of-two FFTs.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp: w[k] = exp(sign * i*pi*k^2/n).
-	w := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k*k may overflow for very large n if done in int; use
-		// modular arithmetic on 2n to keep the angle exact.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * w[k]
-		b[k] = cmplx.Conj(w[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(w[k])
-	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftRadix2(a, true)
-	scale := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * scale * w[k]
-	}
-}
-
 // RealFFT computes the DFT of a real-valued signal and returns the
 // complex half-spectrum of length len(x)/2+1 (bins 0..N/2). The input
 // slice is not modified.
 func RealFFT(x []float64) []complex128 {
+	return RealFFTInto(make([]complex128, len(x)/2+1), x)
+}
+
+// RealFFTInto is RealFFT writing the half-spectrum into dst, which is
+// grown if its capacity is short and returned resliced to len(x)/2+1.
+// Steady-state calls with an adequate dst do not allocate.
+func RealFFTInto(dst []complex128, x []float64) []complex128 {
 	n := len(x)
-	buf := make([]complex128, n)
-	for i, v := range x {
-		buf[i] = complex(v, 0)
-	}
-	FFT(buf)
 	half := n/2 + 1
-	out := make([]complex128, half)
-	copy(out, buf[:half])
-	return out
+	if cap(dst) < half {
+		dst = make([]complex128, half)
+	}
+	dst = dst[:half]
+	if n == 0 {
+		dst[0] = 0
+		return dst
+	}
+	buf := getCBuf(n)
+	for i, v := range x {
+		buf.s[i] = complex(v, 0)
+	}
+	FFT(buf.s)
+	copy(dst, buf.s[:half])
+	putCBuf(buf)
+	return dst
 }
 
 // NextPow2 returns the smallest power of two >= n (and 1 for n <= 0).

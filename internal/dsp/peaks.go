@@ -1,6 +1,6 @@
 package dsp
 
-import "sort"
+import "slices"
 
 // Peak is a local maximum of a (smoothed) spectrum: its bin index, the
 // frequency of that bin, and the spectrum value there.
@@ -56,15 +56,29 @@ func FindPeaks(freq, y []float64) []Peak {
 // np = 20, nh = 24.
 func TopPeaks(freq, y []float64, np, nh int) []Peak {
 	smoothed := y
+	var buf *fbuf
 	if nh > 1 {
-		smoothed = SmoothConvolve(y, HannWindow(nh))
+		buf = getFBuf(len(y))
+		smoothed = SmoothConvolveInto(buf.s, y, hannCached(nh))
 	}
 	peaks := FindPeaks(freq, smoothed)
+	if buf != nil {
+		putFBuf(buf)
+	}
 	if np > 0 && len(peaks) > np {
-		sort.Slice(peaks, func(i, j int) bool { return peaks[i].Value > peaks[j].Value })
+		slices.SortStableFunc(peaks, func(a, b Peak) int {
+			switch {
+			case a.Value > b.Value:
+				return -1
+			case a.Value < b.Value:
+				return 1
+			default:
+				return 0
+			}
+		})
 		peaks = peaks[:np]
 	}
-	sort.Slice(peaks, func(i, j int) bool { return peaks[i].Index < peaks[j].Index })
+	slices.SortFunc(peaks, func(a, b Peak) int { return a.Index - b.Index })
 	return peaks
 }
 

@@ -1,0 +1,273 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// Transform plans. Every FFT/DCT length that appears in a workload is
+// seen thousands of times (one fleet samples at a handful of rates), so
+// the per-length setup — bit-reversal permutations, stage twiddle
+// factors, Bluestein chirp sequences and their transformed filters, DCT
+// recombination tables — is computed once and cached in a
+// concurrency-safe registry. Plans are immutable after construction;
+// lookups are lock-free sync.Map loads, and a racing first use at worst
+// builds the same plan twice and keeps one.
+
+// fftPlan caches the setup of a radix-2 Cooley-Tukey transform of one
+// power-of-two length.
+type fftPlan struct {
+	n     int
+	swaps []int32      // bit-reversal swap pairs (i, j) with i < j, flattened
+	fwd   []complex128 // stage twiddles e^{-iπk/half}, packed by stage at offset half-1
+	inv   []complex128 // conjugate twiddles for the inverse transform
+}
+
+func newFFTPlan(n int) *fftPlan {
+	p := &fftPlan{n: n}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		if j := int(bits.Reverse64(uint64(i)) >> shift); j > i {
+			p.swaps = append(p.swaps, int32(i), int32(j))
+		}
+	}
+	p.fwd = make([]complex128, n-1)
+	p.inv = make([]complex128, n-1)
+	for half := 1; half < n; half <<= 1 {
+		base := half - 1
+		for k := 0; k < half; k++ {
+			ang := math.Pi * float64(k) / float64(half)
+			p.fwd[base+k] = cmplx.Exp(complex(0, -ang))
+			p.inv[base+k] = cmplx.Exp(complex(0, ang))
+		}
+	}
+	return p
+}
+
+// transform runs the in-place transform. Stages are executed in fused
+// pairs (a radix-4-style kernel): each 4-point group stays in registers
+// across two butterfly levels and the upper stage's second-half twiddle
+// is derived from the first by an exact ∓i rotation, saving one complex
+// multiply per group and half the loads/stores of the plain radix-2
+// sweep. Normalization of the inverse is the caller's responsibility.
+func (p *fftPlan) transform(x []complex128, inverse bool) {
+	n := p.n
+	for s := 0; s < len(p.swaps); s += 2 {
+		i, j := p.swaps[s], p.swaps[s+1]
+		x[i], x[j] = x[j], x[i]
+	}
+	tw := p.fwd
+	if inverse {
+		tw = p.inv
+	}
+	// si applies the exact ∓i rotation t2[k+h] == t2[k]·(∓i) without a
+	// branch in the inner loops.
+	si := -1.0
+	if inverse {
+		si = 1.0
+	}
+	size := 2
+	if bits.TrailingZeros(uint(n))&1 == 1 {
+		// Odd stage count: peel the twiddle-free first stage so the
+		// remaining stages pair up.
+		for start := 0; start < n; start += 2 {
+			a, b := x[start], x[start+1]
+			x[start], x[start+1] = a+b, a-b
+		}
+		size = 4
+	} else if n >= 4 {
+		// The first fused pair (stages 2 and 4) has all-trivial twiddles:
+		// it is a plain 4-point DFT per contiguous group. Specializing it
+		// drops three complex multiplies per group.
+		for start := 0; start+4 <= n; start += 4 {
+			a, b, c, d := x[start], x[start+1], x[start+2], x[start+3]
+			a1, b1 := a+b, a-b
+			c1, d1 := c+d, c-d
+			q := complex(-si*imag(d1), si*real(d1))
+			x[start] = a1 + c1
+			x[start+2] = a1 - c1
+			x[start+1] = b1 + q
+			x[start+3] = b1 - q
+		}
+		size = 8
+	}
+	for ; size <= n/2; size <<= 2 {
+		h := size >> 1
+		t1 := tw[h-1 : 2*h-1 : 2*h-1]
+		t2 := tw[2*h-1 : 3*h-1 : 3*h-1]
+		for start := 0; start < n; start += 4 * h {
+			s0 := x[start : start+h : start+h]
+			s1 := x[start+h : start+2*h : start+2*h]
+			s2 := x[start+2*h : start+3*h : start+3*h]
+			s3 := x[start+3*h : start+4*h : start+4*h]
+			for k := range s0 {
+				w1 := t1[k]
+				w1r, w1i := real(w1), imag(w1)
+				b, d := s1[k], s3[k]
+				br, bi := real(b), imag(b)
+				dr, di := real(d), imag(d)
+				btr, bti := br*w1r-bi*w1i, br*w1i+bi*w1r
+				dtr, dti := dr*w1r-di*w1i, dr*w1i+di*w1r
+				a, c := s0[k], s2[k]
+				ar, ai := real(a), imag(a)
+				cr, ci := real(c), imag(c)
+				a1r, a1i := ar+btr, ai+bti
+				b1r, b1i := ar-btr, ai-bti
+				c1r, c1i := cr+dtr, ci+dti
+				d1r, d1i := cr-dtr, ci-dti
+				w2 := t2[k]
+				w2r, w2i := real(w2), imag(w2)
+				ur, ui := c1r*w2r-c1i*w2i, c1r*w2i+c1i*w2r
+				qr, qi := d1r*w2r-d1i*w2i, d1r*w2i+d1i*w2r
+				qr, qi = -si*qi, si*qr
+				s0[k] = complex(a1r+ur, a1i+ui)
+				s2[k] = complex(a1r-ur, a1i-ui)
+				s1[k] = complex(b1r+qr, b1i+qi)
+				s3[k] = complex(b1r-qr, b1i-qi)
+			}
+		}
+	}
+}
+
+// bluesteinPlan caches the chirp sequences and the pre-transformed
+// convolution filter of an arbitrary-length chirp-z transform, for both
+// directions, plus the power-of-two sub-plan the convolution runs on.
+type bluesteinPlan struct {
+	n, m       int
+	wFwd, wInv []complex128 // chirp e^{∓iπk²/n}
+	bFwd, bInv []complex128 // FFT of the chirp filter, per direction
+	sub        *fftPlan
+}
+
+func newBluesteinPlan(n int) *bluesteinPlan {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p := &bluesteinPlan{n: n, m: m, sub: planFFT(m)}
+	p.wFwd = make([]complex128, n)
+	p.wInv = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² may overflow for very large n if done naively; reduce on 2n
+		// to keep the angle exact.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := math.Pi * float64(kk) / float64(n)
+		p.wFwd[k] = cmplx.Exp(complex(0, -ang))
+		p.wInv[k] = cmplx.Exp(complex(0, ang))
+	}
+	p.bFwd = transformedChirpFilter(p.wFwd, n, m, p.sub)
+	p.bInv = transformedChirpFilter(p.wInv, n, m, p.sub)
+	return p
+}
+
+// transformedChirpFilter builds b[k] = conj(w[k]) mirrored around m and
+// returns its forward FFT — the fixed convolution filter of Bluestein's
+// algorithm.
+func transformedChirpFilter(w []complex128, n, m int, sub *fftPlan) []complex128 {
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	sub.transform(b, false)
+	return b
+}
+
+// transform evaluates the length-n DFT of x as a convolution on the
+// cached power-of-two sub-plan, using pooled scratch. Normalization of
+// the inverse is the caller's responsibility.
+func (p *bluesteinPlan) transform(x []complex128, inverse bool) {
+	w, bf := p.wFwd, p.bFwd
+	if inverse {
+		w, bf = p.wInv, p.bInv
+	}
+	buf := getCBuf(p.m)
+	a := buf.s
+	for k := 0; k < p.n; k++ {
+		a[k] = x[k] * w[k]
+	}
+	for k := p.n; k < p.m; k++ {
+		a[k] = 0
+	}
+	p.sub.transform(a, false)
+	for i := range a {
+		a[i] *= bf[i]
+	}
+	p.sub.transform(a, true)
+	scale := complex(1/float64(p.m), 0)
+	for k := 0; k < p.n; k++ {
+		x[k] = a[k] * scale * w[k]
+	}
+	putCBuf(buf)
+}
+
+// dctPlan caches the post-FFT recombination tables of the orthonormal
+// DCT-II of one length (Makhoul's even-odd permutation method).
+type dctPlan struct {
+	n          int
+	cosT, sinT []float64 // cos/sin(πk/(2n))
+	scale0     float64   // √(1/n)
+	scaleK     float64   // √(2/n)
+}
+
+func newDCTPlan(n int) *dctPlan {
+	p := &dctPlan{
+		n:      n,
+		cosT:   make([]float64, n),
+		sinT:   make([]float64, n),
+		scale0: math.Sqrt(1 / float64(n)),
+		scaleK: math.Sqrt(2 / float64(n)),
+	}
+	for k := 0; k < n; k++ {
+		ang := math.Pi * float64(k) / (2 * float64(n))
+		p.cosT[k] = math.Cos(ang)
+		p.sinT[k] = math.Sin(ang)
+	}
+	return p
+}
+
+// Plan registries.
+var (
+	fftPlans       sync.Map // int -> *fftPlan
+	bluesteinPlans sync.Map // int -> *bluesteinPlan
+	dctPlans       sync.Map // int -> *dctPlan
+	hannPlans      sync.Map // int -> []float64 (shared, read-only)
+)
+
+func planFFT(n int) *fftPlan {
+	if v, ok := fftPlans.Load(n); ok {
+		return v.(*fftPlan)
+	}
+	v, _ := fftPlans.LoadOrStore(n, newFFTPlan(n))
+	return v.(*fftPlan)
+}
+
+func planBluestein(n int) *bluesteinPlan {
+	if v, ok := bluesteinPlans.Load(n); ok {
+		return v.(*bluesteinPlan)
+	}
+	v, _ := bluesteinPlans.LoadOrStore(n, newBluesteinPlan(n))
+	return v.(*bluesteinPlan)
+}
+
+func planDCT(n int) *dctPlan {
+	if v, ok := dctPlans.Load(n); ok {
+		return v.(*dctPlan)
+	}
+	v, _ := dctPlans.LoadOrStore(n, newDCTPlan(n))
+	return v.(*dctPlan)
+}
+
+// hannCached returns a shared, read-only Hann window of length n.
+// Callers must not modify it; use HannWindow for a private copy.
+func hannCached(n int) []float64 {
+	if v, ok := hannPlans.Load(n); ok {
+		return v.([]float64)
+	}
+	v, _ := hannPlans.LoadOrStore(n, HannWindow(n))
+	return v.([]float64)
+}

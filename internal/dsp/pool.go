@@ -1,0 +1,65 @@
+package dsp
+
+import "sync"
+
+// Scratch-buffer pools. The spectral hot path (Welch segments, STFT
+// frames, envelope demodulation, per-measurement DCTs) needs short-lived
+// float64 and complex128 work arrays of a handful of recurring lengths.
+// Pooling them per exact length keeps steady-state feature extraction
+// allocation-free: a Get after warm-up returns a previously released
+// buffer and a Put returns the same wrapper object, so neither touches
+// the heap.
+//
+// Buffers are handed out through a small wrapper struct rather than as
+// raw slices so the pool round-trip itself does not allocate (a raw
+// slice stored in a sync.Pool would be boxed into an interface on every
+// Put).
+
+type cbuf struct{ s []complex128 }
+
+type fbuf struct{ s []float64 }
+
+var (
+	cbufPools sync.Map // int -> *sync.Pool of *cbuf
+	fbufPools sync.Map // int -> *sync.Pool of *fbuf
+)
+
+func poolFor(m *sync.Map, n int) *sync.Pool {
+	if v, ok := m.Load(n); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := m.LoadOrStore(n, &sync.Pool{})
+	return v.(*sync.Pool)
+}
+
+// getCBuf returns a complex scratch buffer of exactly n elements. The
+// contents are unspecified; callers must fully overwrite (or zero) it.
+func getCBuf(n int) *cbuf {
+	if v := poolFor(&cbufPools, n).Get(); v != nil {
+		return v.(*cbuf)
+	}
+	return &cbuf{s: make([]complex128, n)}
+}
+
+func putCBuf(b *cbuf) {
+	if b == nil || len(b.s) == 0 {
+		return
+	}
+	poolFor(&cbufPools, len(b.s)).Put(b)
+}
+
+// getFBuf returns a float64 scratch buffer of exactly n elements with
+// unspecified contents.
+func getFBuf(n int) *fbuf {
+	if v := poolFor(&fbufPools, n).Get(); v != nil {
+		return v.(*fbuf)
+	}
+	return &fbuf{s: make([]float64, n)}
+}
+
+func putFBuf(b *fbuf) {
+	if b == nil || len(b.s) == 0 {
+		return
+	}
+	poolFor(&fbufPools, len(b.s)).Put(b)
+}

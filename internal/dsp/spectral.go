@@ -25,12 +25,21 @@ func Mean(x []float64) float64 {
 // result as a new slice. This is the paper's normalization â = a − 1·ā
 // that removes the gravity bias from raw accelerometer readings.
 func Demean(x []float64) []float64 {
-	mu := Mean(x)
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = v - mu
+	return DemeanInto(make([]float64, len(x)), x)
+}
+
+// DemeanInto is Demean writing into dst (grown if needed, returned
+// resliced to len(x)). dst may alias x for an in-place demean.
+func DemeanInto(dst, x []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
 	}
-	return out
+	dst = dst[:len(x)]
+	mu := Mean(x)
+	for i, v := range x {
+		dst[i] = v - mu
+	}
+	return dst
 }
 
 // RMS returns sqrt(mean(x²)). Applied to a demeaned acceleration trace
@@ -72,17 +81,31 @@ func Std(x []float64) float64 { return math.Sqrt(Variance(x)) }
 // 2·K·sum(s) == ‖â‖² · (1/K) · K, i.e. sum over bins of (dct)²/(2K)
 // equals rms²/2.
 func PSDDCT(x []float64) []float64 {
+	return PSDDCTInto(make([]float64, len(x)), x)
+}
+
+// PSDDCTInto is PSDDCT writing into dst (grown if needed, returned
+// resliced to len(x)). Steady-state calls with an adequate dst are
+// allocation-free: the demeaned copy comes from the scratch pool and the
+// DCT runs on a cached plan.
+func PSDDCTInto(dst, x []float64) []float64 {
 	k := len(x)
-	out := make([]float64, k)
+	if cap(dst) < k {
+		dst = make([]float64, k)
+	}
+	dst = dst[:k]
 	if k == 0 {
-		return out
+		return dst
 	}
-	c := DCT(Demean(x))
+	buf := getFBuf(k)
+	DemeanInto(buf.s, x)
+	DCTInto(dst, buf.s)
+	putFBuf(buf)
 	inv := 1 / (2 * float64(k))
-	for i, v := range c {
-		out[i] = v * v * inv
+	for i, v := range dst {
+		dst[i] = v * v * inv
 	}
-	return out
+	return dst
 }
 
 // Periodogram computes the one-sided FFT periodogram of x sampled at
@@ -98,7 +121,11 @@ func Periodogram(x []float64, fs float64) (freq, psd []float64, err error) {
 	if fs <= 0 {
 		return nil, nil, errors.New("dsp: sampling rate must be positive")
 	}
-	spec := RealFFT(Demean(x))
+	dbuf := getFBuf(n)
+	DemeanInto(dbuf.s, x)
+	sbuf := getCBuf(n/2 + 1)
+	spec := RealFFTInto(sbuf.s, dbuf.s)
+	putFBuf(dbuf)
 	half := len(spec)
 	freq = make([]float64, half)
 	psd = make([]float64, half)
@@ -112,6 +139,7 @@ func Periodogram(x []float64, fs float64) (freq, psd []float64, err error) {
 		}
 		psd[k] = p
 	}
+	putCBuf(sbuf)
 	return freq, psd, nil
 }
 

@@ -25,64 +25,99 @@ type STFTConfig struct {
 	Window []float64
 }
 
-// STFT computes the spectrogram of x sampled at fs Hz. It underlies
-// time-frequency visualization of non-stationary behaviour (e.g. the
-// load transients worn pumps exhibit) that a single whole-measurement
-// PSD averages away.
-func STFT(x []float64, fs float64, cfg STFTConfig) (*Spectrogram, error) {
-	if len(x) == 0 {
-		return nil, ErrEmptySignal
-	}
-	if fs <= 0 {
-		return nil, errors.New("dsp: sampling rate must be positive")
-	}
-	frame := cfg.FrameLength
+func (cfg STFTConfig) params(n int) (frame, hop int, window []float64) {
+	frame = cfg.FrameLength
 	if frame <= 0 {
 		frame = 256
 	}
-	if frame > len(x) {
-		frame = len(x)
+	if frame > n {
+		frame = n
 	}
-	hop := cfg.HopLength
+	hop = cfg.HopLength
 	if hop <= 0 {
 		hop = frame / 2
 	}
 	if hop < 1 {
 		hop = 1
 	}
-	window := cfg.Window
+	window = cfg.Window
 	if len(window) != frame {
-		window = HannWindow(frame)
+		window = hannCached(frame)
 	}
+	return frame, hop, window
+}
+
+// STFT computes the spectrogram of x sampled at fs Hz. It underlies
+// time-frequency visualization of non-stationary behaviour (e.g. the
+// load transients worn pumps exhibit) that a single whole-measurement
+// PSD averages away.
+func STFT(x []float64, fs float64, cfg STFTConfig) (*Spectrogram, error) {
+	sg := &Spectrogram{}
+	if err := STFTInto(sg, x, fs, cfg); err != nil {
+		return nil, err
+	}
+	return sg, nil
+}
+
+// STFTInto computes the spectrogram into sg, reusing its Times, Freqs,
+// and Power storage when the capacities fit (rows are reused
+// individually). Frame transforms run on cached plans with pooled
+// scratch, so repeated calls with a compatible sg are allocation-free in
+// the steady state.
+func STFTInto(sg *Spectrogram, x []float64, fs float64, cfg STFTConfig) error {
+	if len(x) == 0 {
+		return ErrEmptySignal
+	}
+	if fs <= 0 {
+		return errors.New("dsp: sampling rate must be positive")
+	}
+	frame, hop, window := cfg.params(len(x))
 	var wp float64
 	for _, w := range window {
 		wp += w * w
 	}
 	half := frame/2 + 1
-	sg := &Spectrogram{}
-	sg.Freqs = make([]float64, half)
+	nFrames := (len(x)-frame)/hop + 1
+	if nFrames <= 0 {
+		return ErrShortSignal
+	}
+	sg.Freqs = resizeFloats(sg.Freqs, half)
 	for k := range sg.Freqs {
 		sg.Freqs[k] = float64(k) * fs / float64(frame)
 	}
-	for start := 0; start+frame <= len(x); start += hop {
-		tapered := ApplyWindow(x[start:start+frame], window)
-		spec := RealFFT(tapered)
-		row := make([]float64, half)
-		for k := 0; k < half; k++ {
-			m := spec[k]
-			p := (real(m)*real(m) + imag(m)*imag(m)) / (fs * wp)
-			if k != 0 && !(frame%2 == 0 && k == half-1) {
-				p *= 2
-			}
-			row[k] = p
+	sg.Times = resizeFloats(sg.Times, nFrames)
+	if cap(sg.Power) >= nFrames {
+		sg.Power = sg.Power[:nFrames]
+	} else {
+		sg.Power = append(sg.Power[:cap(sg.Power)], make([][]float64, nFrames-cap(sg.Power))...)
+	}
+	fftBuf := getCBuf(frame)
+	for t := 0; t < nFrames; t++ {
+		start := t * hop
+		chunk := x[start : start+frame]
+		for i, v := range chunk {
+			fftBuf.s[i] = complex(v*window[i], 0)
 		}
-		sg.Power = append(sg.Power, row)
-		sg.Times = append(sg.Times, (float64(start)+float64(frame)/2)/fs)
+		FFT(fftBuf.s)
+		row := resizeFloats(sg.Power[t], half)
+		for k := range row {
+			row[k] = 0
+		}
+		accumulateOneSidedPSD(row, fftBuf.s[:half], frame, fs*wp)
+		sg.Power[t] = row
+		sg.Times[t] = (float64(start) + float64(frame)/2) / fs
 	}
-	if len(sg.Power) == 0 {
-		return nil, errors.New("dsp: signal shorter than one frame")
+	putCBuf(fftBuf)
+	return nil
+}
+
+// resizeFloats reslices s to length n, allocating only when the
+// capacity is short.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	return sg, nil
+	return s[:n]
 }
 
 // BinAt returns the index of the frequency bin closest to f.

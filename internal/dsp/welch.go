@@ -13,6 +13,38 @@ type WelchConfig struct {
 	Window []float64
 }
 
+// ErrShortSignal is returned when a signal is shorter than one analysis
+// segment or frame.
+var ErrShortSignal = errors.New("dsp: signal shorter than one segment")
+
+// welchParams resolves the effective segment length, hop, and window of
+// a config against a signal length.
+func (cfg WelchConfig) params(n int) (seg, step int, window []float64) {
+	seg = cfg.SegmentLength
+	if seg <= 0 {
+		seg = 256
+	}
+	if seg > n {
+		seg = n
+	}
+	overlap := cfg.Overlap
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > 0.95 {
+		overlap = 0.95
+	}
+	window = cfg.Window
+	if len(window) != seg {
+		window = hannCached(seg)
+	}
+	step = int(float64(seg) * (1 - overlap))
+	if step < 1 {
+		step = 1
+	}
+	return seg, step, window
+}
+
 // Welch estimates the one-sided PSD of x (sampled at fs Hz) by
 // averaging windowed, overlapped periodograms — the classic
 // variance-reduced alternative to the paper's single DCT periodogram.
@@ -23,63 +55,78 @@ func Welch(x []float64, fs float64, cfg WelchConfig) (freq, psd []float64, err e
 	if len(x) == 0 {
 		return nil, nil, ErrEmptySignal
 	}
+	seg, _, _ := cfg.params(len(x))
+	half := seg/2 + 1
+	freq = make([]float64, half)
+	psd = make([]float64, half)
+	if err := WelchInto(freq, psd, x, fs, cfg); err != nil {
+		return nil, nil, err
+	}
+	return freq, psd, nil
+}
+
+// WelchInto is Welch writing into caller-owned freq and psd slices,
+// both of which must have length SegmentLength/2+1 (after the segment
+// length is clamped to len(x)). All transient work arrays come from the
+// scratch pool and segment transforms run on cached plans, so
+// steady-state calls are allocation-free.
+func WelchInto(freq, psd []float64, x []float64, fs float64, cfg WelchConfig) error {
+	if len(x) == 0 {
+		return ErrEmptySignal
+	}
 	if fs <= 0 {
-		return nil, nil, errors.New("dsp: sampling rate must be positive")
+		return errors.New("dsp: sampling rate must be positive")
 	}
-	seg := cfg.SegmentLength
-	if seg <= 0 {
-		seg = 256
-	}
-	if seg > len(x) {
-		seg = len(x)
-	}
-	overlap := cfg.Overlap
-	if overlap < 0 {
-		overlap = 0
-	}
-	if overlap > 0.95 {
-		overlap = 0.95
-	}
-	window := cfg.Window
-	if len(window) != seg {
-		window = HannWindow(seg)
-	}
-	step := int(float64(seg) * (1 - overlap))
-	if step < 1 {
-		step = 1
+	seg, step, window := cfg.params(len(x))
+	half := seg/2 + 1
+	if len(freq) != half || len(psd) != half {
+		return errors.New("dsp: WelchInto output length must be SegmentLength/2+1")
 	}
 	// Window power normalization.
 	var wp float64
 	for _, w := range window {
 		wp += w * w
 	}
-	half := seg/2 + 1
-	acc := make([]float64, half)
+	for k := range psd {
+		psd[k] = 0
+	}
+	dbuf := getFBuf(len(x))
+	demeaned := DemeanInto(dbuf.s, x)
+	fftBuf := getCBuf(seg)
 	segments := 0
-	demeaned := Demean(x)
 	for start := 0; start+seg <= len(demeaned); start += step {
-		tapered := ApplyWindow(demeaned[start:start+seg], window)
-		spec := RealFFT(tapered)
-		for k := 0; k < half; k++ {
-			m := spec[k]
-			p := (real(m)*real(m) + imag(m)*imag(m)) / (fs * wp)
-			if k != 0 && !(seg%2 == 0 && k == half-1) {
-				p *= 2
-			}
-			acc[k] += p
+		chunk := demeaned[start : start+seg]
+		for i, v := range chunk {
+			fftBuf.s[i] = complex(v*window[i], 0)
 		}
+		FFT(fftBuf.s)
+		accumulateOneSidedPSD(psd, fftBuf.s[:half], seg, fs*wp)
 		segments++
 	}
+	putCBuf(fftBuf)
+	putFBuf(dbuf)
 	if segments == 0 {
-		return nil, nil, errors.New("dsp: signal shorter than one segment")
+		return ErrShortSignal
 	}
-	freq = make([]float64, half)
 	for k := range freq {
 		freq[k] = float64(k) * fs / float64(seg)
 	}
 	inv := 1 / float64(segments)
-	for k := range acc {
-		acc[k] *= inv
+	for k := range psd {
+		psd[k] *= inv
 	}
-	return freq, acc, nil
+	return nil
+}
+
+// accumulateOneSidedPSD folds one segment's half-spectrum into acc with
+// the one-sided density normalization 1/norm, doubling interior bins.
+func accumulateOneSidedPSD(acc []float64, spec []complex128, n int, norm float64) {
+	half := len(spec)
+	for k, m := range spec {
+		p := (real(m)*real(m) + imag(m)*imag(m)) / norm
+		if k != 0 && !(n%2 == 0 && k == half-1) {
+			p *= 2
+		}
+		acc[k] += p
+	}
 }

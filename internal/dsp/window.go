@@ -64,15 +64,75 @@ func ApplyWindow(x, w []float64) []float64 {
 // over adjacent frequencies by convolutions using a Hann window" step of
 // the paper's harmonic-peak search (§IV-B step 1).
 func SmoothConvolve(x, kernel []float64) []float64 {
+	return SmoothConvolveInto(make([]float64, len(x)), x, kernel)
+}
+
+// SmoothConvolveInto is SmoothConvolve writing into dst (grown if
+// needed, returned resliced to len(x)). dst may not alias x. Interior
+// points — where the kernel never crosses a boundary — run a
+// branch-free inner loop with the precomputed total kernel mass; only
+// the two edge bands pay for reflection handling.
+func SmoothConvolveInto(dst, x, kernel []float64) []float64 {
 	n := len(x)
 	m := len(kernel)
-	out := make([]float64, n)
-	if n == 0 || m == 0 {
-		copy(out, x)
-		return out
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	if m == 0 {
+		copy(dst, x)
+		return dst
 	}
 	half := m / 2
-	for i := 0; i < n; i++ {
+	var total float64
+	for _, k := range kernel {
+		total += k
+	}
+	lo := half
+	hi := n - (m - 1 - half)
+	if lo > n {
+		lo = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if total != 0 {
+		inv := 1 / total
+		for i := lo; i < hi; i++ {
+			base := x[i-half : i-half+m : i-half+m]
+			// Four accumulators break the serial dependency on the sum.
+			var s0, s1, s2, s3 float64
+			j := 0
+			for ; j+4 <= m; j += 4 {
+				s0 += base[j] * kernel[j]
+				s1 += base[j+1] * kernel[j+1]
+				s2 += base[j+2] * kernel[j+2]
+				s3 += base[j+3] * kernel[j+3]
+			}
+			for ; j < m; j++ {
+				s0 += base[j] * kernel[j]
+			}
+			dst[i] = (s0 + s1 + s2 + s3) * inv
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			dst[i] = 0
+		}
+	}
+	smoothEdges(dst, x, kernel, 0, lo)
+	smoothEdges(dst, x, kernel, hi, n)
+	return dst
+}
+
+// smoothEdges runs the reflecting-boundary convolution over [from, to).
+func smoothEdges(dst, x, kernel []float64, from, to int) {
+	n := len(x)
+	m := len(kernel)
+	half := m / 2
+	for i := from; i < to; i++ {
 		var sum, mass float64
 		for j := 0; j < m; j++ {
 			idx := i + j - half
@@ -90,10 +150,11 @@ func SmoothConvolve(x, kernel []float64) []float64 {
 			mass += kernel[j]
 		}
 		if mass != 0 {
-			out[i] = sum / mass
+			dst[i] = sum / mass
+		} else {
+			dst[i] = 0
 		}
 	}
-	return out
 }
 
 // MovingAverage returns the centered moving average of x with the given

@@ -1,0 +1,55 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// benchPSD builds a synthetic smoothed-PSD-like spectrum with a harmonic
+// series over a noise floor, matching what ExtractHarmonic sees from the
+// transform layer on a 1024-sample measurement.
+func benchPSD(n int) (freq, psd []float64) {
+	rng := rand.New(rand.NewSource(7))
+	freq = make([]float64, n)
+	psd = make([]float64, n)
+	for i := range freq {
+		freq[i] = float64(i) * 3200.0 / (2 * float64(n))
+	}
+	for i := range psd {
+		psd[i] = 1e-6 * (1 + 0.3*rng.Float64())
+	}
+	for h := 1; h <= 12; h++ {
+		center := 50 * h * n / 1600
+		if center >= n-2 {
+			break
+		}
+		for d := -2; d <= 2; d++ {
+			psd[center+d] += 1e-3 / float64(h) * math.Exp(-float64(d*d))
+		}
+	}
+	return freq, psd
+}
+
+func BenchmarkHarmonicExtract(b *testing.B) {
+	freq, psd := benchPSD(1024)
+	b.ReportAllocs()
+	for b.Loop() {
+		ExtractHarmonic(freq, psd, Options{})
+	}
+}
+
+func BenchmarkPeakDistance(b *testing.B) {
+	freq, psd := benchPSD(1024)
+	h1 := ExtractHarmonic(freq, psd, Options{})
+	for i := range psd {
+		psd[i] *= 1 + 0.1*math.Sin(float64(i))
+	}
+	h2 := ExtractHarmonic(freq, psd, Options{})
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, err := PeakDistance(h1, h2, 0, 0, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

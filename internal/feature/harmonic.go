@@ -8,7 +8,9 @@ package feature
 
 import (
 	"errors"
+	"math"
 	"sort"
+	"sync"
 
 	"vibepm/internal/dsp"
 	"vibepm/internal/store"
@@ -106,11 +108,22 @@ func ExtractHarmonic(freq, psd []float64, opt Options) Harmonic {
 	return Harmonic{Peaks: peaks, BinHz: binHz}
 }
 
+// psdScratch pools the (freq, psd) work arrays of HarmonicOfRecord.
+type psdScratch struct {
+	freq, psd []float64
+}
+
+var psdPool = sync.Pool{New: func() any { return &psdScratch{} }}
+
 // HarmonicOfRecord extracts the harmonic feature directly from a stored
-// measurement via the combined 3-axis DCT PSD.
+// measurement via the combined 3-axis DCT PSD. The PSD work arrays are
+// pooled; only the returned peak list is allocated.
 func HarmonicOfRecord(rec *store.Record, opt Options) Harmonic {
-	freq, psd := transform.PSD(rec)
-	return ExtractHarmonic(freq, psd, opt)
+	sc := psdPool.Get().(*psdScratch)
+	sc.freq, sc.psd = transform.PSDInto(sc.freq, sc.psd, rec)
+	h := ExtractHarmonic(sc.freq, sc.psd, opt)
+	psdPool.Put(sc)
+	return h
 }
 
 // MaxPeak returns the largest peak amplitude and frequency across a set
@@ -180,13 +193,20 @@ func PeakDistance(a, b Harmonic, pmax, fmax float64, opt Options) (float64, erro
 	}
 	tolHz := float64(opt.HannWindow) * binHz
 
-	// Working copies of b's queue, ascending in frequency.
-	bf := make([]float64, len(b.Peaks))
-	bp := make([]float64, len(b.Peaks))
-	used := make([]bool, len(b.Peaks))
+	// Working copies of b's queue, ascending in frequency (pooled: the
+	// distance runs once per measurement on the scoring hot path).
+	sc := pdPool.Get().(*pdScratch)
+	bf := resizeFloats(sc.bf, len(b.Peaks))
+	bp := resizeFloats(sc.bp, len(b.Peaks))
+	used := sc.used
+	if cap(used) < len(b.Peaks) {
+		used = make([]bool, len(b.Peaks))
+	}
+	used = used[:len(b.Peaks)]
 	for i, p := range b.Peaks {
 		bf[i] = p.Freq
 		bp[i] = p.Value
+		used[i] = false
 	}
 
 	var sum float64
@@ -217,7 +237,26 @@ func PeakDistance(a, b Harmonic, pmax, fmax float64, opt Options) (float64, erro
 			restCnt++
 		}
 	}
+	sc.bf, sc.bp, sc.used = bf, bp, used
+	pdPool.Put(sc)
 	return (sum + rest) / float64(cnt+restCnt), nil
+}
+
+// pdScratch pools PeakDistance's working copies of the reference queue.
+type pdScratch struct {
+	bf, bp []float64
+	used   []bool
+}
+
+var pdPool = sync.Pool{New: func() any { return &pdScratch{} }}
+
+// resizeFloats reslices s to length n, allocating only when the
+// capacity is short.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // nearestUnused finds the index of the unused entry of sorted fs
@@ -253,5 +292,5 @@ func abs(x float64) float64 {
 }
 
 func hypot(a, b float64) float64 {
-	return dsp.Norm2([]float64{a, b})
+	return math.Sqrt(a*a + b*b)
 }

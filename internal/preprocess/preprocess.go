@@ -23,9 +23,14 @@ import (
 // measurement integrity.
 func Averages(recs []*store.Record) [][]float64 {
 	out := make([][]float64, len(recs))
+	flat := make([]float64, 3*len(recs))
 	for i, rec := range recs {
-		_, offsets := transform.Acceleration(rec)
-		out[i] = []float64{offsets[0], offsets[1], offsets[2]}
+		// The integrity scan needs only the per-axis means; skip the
+		// demeaned-series materialization of the full transform.
+		offsets := transform.Offsets(rec)
+		row := flat[3*i : 3*i+3 : 3*i+3]
+		row[0], row[1], row[2] = offsets[0], offsets[1], offsets[2]
+		out[i] = row
 	}
 	return out
 }

@@ -7,6 +7,7 @@ package transform
 
 import (
 	"math"
+	"sync"
 
 	"vibepm/internal/dsp"
 	"vibepm/internal/store"
@@ -14,12 +15,29 @@ import (
 
 // CountsToG converts raw ADC counts into acceleration in g.
 func CountsToG(raw []int16, scaleG float64) []float64 {
-	out := make([]float64, len(raw))
-	for i, v := range raw {
-		out[i] = float64(v) * scaleG
-	}
-	return out
+	return CountsToGInto(make([]float64, len(raw)), raw, scaleG)
 }
+
+// CountsToGInto is CountsToG writing into dst (grown if needed,
+// returned resliced to len(raw)).
+func CountsToGInto(dst []float64, raw []int16, scaleG float64) []float64 {
+	if cap(dst) < len(raw) {
+		dst = make([]float64, len(raw))
+	}
+	dst = dst[:len(raw)]
+	for i, v := range raw {
+		dst[i] = float64(v) * scaleG
+	}
+	return dst
+}
+
+// axisScratch pools the per-axis work arrays of the PSD hot path so
+// steady-state feature extraction does not allocate.
+type axisScratch struct {
+	g, s []float64
+}
+
+var axisPool = sync.Pool{New: func() any { return &axisScratch{} }}
 
 // Acceleration converts a stored record into normalized (demeaned)
 // per-axis acceleration in g, also returning the per-axis means — the
@@ -30,9 +48,27 @@ func Acceleration(rec *store.Record) (axes [3][]float64, offsets [3]float64) {
 	for axis := 0; axis < 3; axis++ {
 		g := CountsToG(rec.Raw[axis], rec.ScaleG)
 		offsets[axis] = dsp.Mean(g)
-		axes[axis] = dsp.Demean(g)
+		axes[axis] = dsp.DemeanInto(g, g)
 	}
 	return axes, offsets
+}
+
+// Offsets returns the per-axis mean acceleration (the zero offsets of
+// Fig. 8) without materializing the demeaned series — the cheap path
+// the preprocessing layer's measurement-integrity scan uses.
+func Offsets(rec *store.Record) (offsets [3]float64) {
+	for axis := 0; axis < 3; axis++ {
+		raw := rec.Raw[axis]
+		if len(raw) == 0 {
+			continue
+		}
+		var sum float64
+		for _, v := range raw {
+			sum += float64(v) * rec.ScaleG
+		}
+		offsets[axis] = sum / float64(len(raw))
+	}
+	return offsets
 }
 
 // DCTFrequencies returns the frequency (Hz) of every DCT-II bin for a
@@ -50,27 +86,66 @@ func DCTFrequencies(fs float64, k int) []float64 {
 // s_mn = Σ_{l∈{x,y,z}} (âˡ·W_K)²/(2K), one value per DCT bin, plus the
 // matching frequency axis. This is the s_mn feature vector of §III-B.
 func PSD(rec *store.Record) (freq, psd []float64) {
-	axes, _ := Acceleration(rec)
 	k := rec.Samples()
-	psd = make([]float64, k)
+	return PSDInto(make([]float64, k), make([]float64, k), rec)
+}
+
+// PSDInto is PSD writing into caller-owned freq and psd slices (grown
+// if their capacity is short, returned resliced to rec.Samples()). All
+// per-axis work arrays are pooled and the DCT runs on a cached plan, so
+// steady-state calls with adequate slices are allocation-free.
+func PSDInto(freq, psd []float64, rec *store.Record) ([]float64, []float64) {
+	k := rec.Samples()
+	if cap(freq) < k {
+		freq = make([]float64, k)
+	}
+	freq = freq[:k]
+	if cap(psd) < k {
+		psd = make([]float64, k)
+	}
+	psd = psd[:k]
+	for i := range psd {
+		psd[i] = 0
+	}
+	sc := axisPool.Get().(*axisScratch)
 	for axis := 0; axis < 3; axis++ {
-		s := dsp.PSDDCT(axes[axis])
-		for i, v := range s {
+		// PSDDCT demeans internally, so the raw (gravity-biased)
+		// acceleration can feed it directly.
+		sc.g = CountsToGInto(sc.g, rec.Raw[axis], rec.ScaleG)
+		sc.s = dsp.PSDDCTInto(sc.s, sc.g)
+		for i, v := range sc.s {
 			psd[i] += v
 		}
 	}
-	return DCTFrequencies(rec.SampleRateHz, k), psd
+	axisPool.Put(sc)
+	for i := range freq {
+		freq[i] = float64(i) * rec.SampleRateHz / (2 * float64(k))
+	}
+	return freq, psd
 }
 
 // RMS computes the paper's combined RMS feature of a record:
 // r_mn = sqrt(Σ_l (rˡ_mn)²) with rˡ = ‖âˡ‖/√K, i.e. the root of the
-// summed per-axis vibration variances.
+// summed per-axis vibration variances. It runs directly over the raw
+// counts in two passes and never allocates.
 func RMS(rec *store.Record) float64 {
-	axes, _ := Acceleration(rec)
 	var sum float64
 	for axis := 0; axis < 3; axis++ {
-		r := dsp.RMS(axes[axis])
-		sum += r * r
+		raw := rec.Raw[axis]
+		if len(raw) == 0 {
+			continue
+		}
+		var mean float64
+		for _, v := range raw {
+			mean += float64(v) * rec.ScaleG
+		}
+		mean /= float64(len(raw))
+		var sq float64
+		for _, v := range raw {
+			d := float64(v)*rec.ScaleG - mean
+			sq += d * d
+		}
+		sum += sq / float64(len(raw))
 	}
 	return math.Sqrt(sum)
 }

@@ -60,23 +60,13 @@ func (e *Engine) Report(pumpID int, ageOf AgeFunc) (*PumpReport, error) {
 
 // FleetReport summarizes every pump in the store, ordered by urgency:
 // pumps with the least (or most negative) RUL first, then by zone
-// severity and D_a.
+// severity and D_a. Per-pump analysis runs in parallel via AnalyzeAll.
 func (e *Engine) FleetReport(ageOf AgeFunc) ([]PumpReport, error) {
-	if !e.Fitted() {
-		return nil, ErrNotFitted
+	fleet, err := e.AnalyzeAll(ageOf)
+	if err != nil {
+		return nil, err
 	}
-	pumps := e.measurements.Pumps()
-	if len(pumps) == 0 {
-		return nil, fmt.Errorf("%w: empty measurement store", ErrNoData)
-	}
-	out := make([]PumpReport, 0, len(pumps))
-	for _, id := range pumps {
-		rep, err := e.Report(id, ageOf)
-		if err != nil {
-			continue
-		}
-		out = append(out, *rep)
-	}
+	out := fleet.Pumps
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.HasRUL != b.HasRUL {
