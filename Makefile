@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-dsp bench-snapshot bench-check experiments experiments-paper chaos cover fuzz clean
+.PHONY: all build test vet race race-obs bench bench-dsp bench-snapshot bench-check experiments experiments-paper chaos cover fuzz clean
 
 all: build vet test
 
@@ -18,6 +18,11 @@ test:
 # The concurrency suites (gateway, par, chaos) under the race detector.
 race:
 	$(GO) test -race ./...
+
+# Hammer the metrics registry and logger from many goroutines under
+# the race detector — the obs package's concurrency contract.
+race-obs:
+	$(GO) test -race -run 'TestRegistryRaceHammer|TestLoggerRaceHammer' -count=3 ./internal/obs/
 
 # One testing.B per paper table/figure (bench_test.go) plus DSP
 # micro-benches.

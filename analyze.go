@@ -2,6 +2,7 @@ package vibepm
 
 import (
 	"fmt"
+	"time"
 
 	"vibepm/internal/par"
 )
@@ -36,6 +37,8 @@ func (e *Engine) AnalyzeAll(ageOf AgeFunc) (*FleetAnalysis, error) {
 	if !e.Fitted() {
 		return nil, ErrNotFitted
 	}
+	start := time.Now()
+	defer func() { metAnalyzeFleet.Observe(time.Since(start).Seconds()) }()
 	pumps := e.measurements.Pumps()
 	if len(pumps) == 0 {
 		return nil, fmt.Errorf("%w: empty measurement store", ErrNoData)

@@ -24,6 +24,7 @@ import (
 	"vibepm/internal/gateway"
 	"vibepm/internal/mems"
 	"vibepm/internal/mote"
+	"vibepm/internal/obs"
 	"vibepm/internal/physics"
 )
 
@@ -89,6 +90,13 @@ type report struct {
 
 	FleetCompleteness float64      `json:"fleet_completeness"`
 	PerMote           []moteReport `json:"per_mote"`
+
+	// Metrics is the gateway's counter/gauge snapshot from a private
+	// obs registry — the soak's observability summary. Totals excludes
+	// histograms (wall-clock durations would break byte-identical
+	// reports); JSON maps marshal with sorted keys, so this stays
+	// deterministic.
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // run executes one soak and returns its report.
@@ -101,9 +109,13 @@ func run(cfg runConfig) (*report, error) {
 		plan.KillAtDays = map[int]float64{cfg.Motes - 1: cfg.Days / 2}
 	}
 	inj := chaos.NewInjector(plan)
+	// A private registry keeps the soak's metrics isolated from the
+	// process-wide default, so the report reflects this run alone.
+	reg := obs.NewRegistry()
 	srv := gateway.New(gateway.Config{
-		Faults: inj,
-		Retry:  gateway.RetryConfig{MaxAttempts: 4, Seed: cfg.Seed},
+		Faults:  inj,
+		Retry:   gateway.RetryConfig{MaxAttempts: 4, Seed: cfg.Seed},
+		Metrics: reg,
 	})
 	motes := make([]*mote.Mote, cfg.Motes)
 	for i := 0; i < cfg.Motes; i++ {
@@ -210,6 +222,7 @@ func run(cfg runConfig) (*report, error) {
 	if out.Produced > 0 {
 		out.DeliveryRate = float64(out.Stored) / float64(out.Produced)
 	}
+	out.Metrics = reg.Totals()
 	return out, nil
 }
 

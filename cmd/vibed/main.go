@@ -2,24 +2,32 @@
 // over a measurement corpus — either loaded from files produced by
 // vibegen, or freshly simulated. It also fits the analysis engine and
 // exposes the derived results (zone classification, boundary, RUL) on
-// additional endpoints.
+// additional endpoints, plus Prometheus metrics on /api/v1/metrics and
+// (optionally) the net/http/pprof profiling handlers.
 //
 // Usage:
 //
 //	vibed -data data/           # serve a vibegen corpus on :8080
 //	vibed -simulate -addr :9000 # simulate a fresh corpus and serve it
+//	vibed -simulate -pprof      # also mount /debug/pprof/ handlers
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"vibepm"
 	"vibepm/internal/dataset"
+	"vibepm/internal/obs"
 	"vibepm/internal/physics"
 	"vibepm/internal/restapi"
 	"vibepm/internal/store"
@@ -27,12 +35,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dataDir  = flag.String("data", "", "directory with measurements.bin and labels.json (from vibegen)")
-		simulate = flag.Bool("simulate", false, "simulate a small corpus instead of loading files")
-		seed     = flag.Int64("seed", 1, "simulation seed")
+		addr         = flag.String("addr", ":8080", "listen address")
+		dataDir      = flag.String("data", "", "directory with measurements.bin and labels.json (from vibegen)")
+		simulate     = flag.Bool("simulate", false, "simulate a small corpus instead of loading files")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		logLevel     = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+		maxBodyBytes = flag.Int64("max-body-bytes", restapi.DefaultMaxBodyBytes, "ingest request body cap in bytes")
+		pprofEnabled = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
 
 	measurements := store.NewMeasurements()
 	labels := store.NewLabels()
@@ -40,7 +53,7 @@ func main() {
 
 	switch {
 	case *simulate:
-		log.Printf("simulating corpus (seed %d)...", *seed)
+		logger.Info("simulating corpus", "seed", *seed)
 		ds, err := dataset.Generate(dataset.Config{
 			Seed:               *seed,
 			DurationDays:       60,
@@ -52,7 +65,8 @@ func main() {
 			},
 		})
 		if err != nil {
-			log.Fatalf("simulate: %v", err)
+			logger.Error("simulate failed", "err", err)
+			os.Exit(1)
 		}
 		measurements = ds.Measurements
 		labels = ds.Labels
@@ -64,10 +78,12 @@ func main() {
 		}
 	case *dataDir != "":
 		if err := measurements.LoadFile(filepath.Join(*dataDir, "measurements.bin")); err != nil {
-			log.Fatalf("load measurements: %v", err)
+			logger.Error("load measurements failed", "err", err)
+			os.Exit(1)
 		}
 		if err := labels.LoadFile(filepath.Join(*dataDir, "labels.json")); err != nil {
-			log.Fatalf("load labels: %v", err)
+			logger.Error("load labels failed", "err", err)
+			os.Exit(1)
 		}
 		// Without factory install dates, service time is the age proxy.
 		ageOf = func(_ int, serviceDays float64) float64 { return serviceDays }
@@ -75,23 +91,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -data DIR or -simulate")
 		os.Exit(2)
 	}
-	log.Printf("corpus: %d measurements, %d labels", measurements.Len(), labels.Len())
+	logger.Info("corpus loaded", "measurements", measurements.Len(), "labels", labels.Len())
 
 	periods, err := store.NewPeriodManager(store.AnalysisPeriod{StartDays: 0, EndDays: 1e9}, 1.0/24)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("period manager", "err", err)
+		os.Exit(1)
 	}
 
 	eng := vibepm.NewWithStores(vibepm.Options{}, measurements, labels)
 	if err := eng.Fit(); err != nil {
-		log.Fatalf("fit: %v", err)
+		logger.Error("fit failed", "err", err)
+		os.Exit(1)
 	}
 	boundary, _ := eng.Boundary()
-	log.Printf("engine fitted; BC/D boundary Da = %.3f", boundary)
+	logger.Info("engine fitted", "boundary_da", boundary)
 
 	mux := http.NewServeMux()
 	mux.Handle("/api/v1/analysis/", restapi.NewAnalysis(eng, ageOf))
-	mux.Handle("/api/v1/", restapi.New(measurements, labels, periods))
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	mux.Handle("/api/v1/", restapi.New(measurements, labels, periods,
+		restapi.WithMaxBodyBytes(*maxBodyBytes)))
+	if *pprofEnabled {
+		// Mount explicitly rather than importing for side effects on
+		// http.DefaultServeMux: the profile surface is opt-in.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr, "pprof", *pprofEnabled)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down", "grace", "10s")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown", "err", err)
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("stopped cleanly")
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"vibepm/internal/core"
 	"vibepm/internal/feature"
@@ -158,6 +159,8 @@ func (e *Engine) labelledPairs() []labelledPair {
 //     D_a and fit the per-zone densities (Fig. 11);
 //  4. train the zone classifier and locate the BC/D decision boundary.
 func (e *Engine) Fit() error {
+	start := time.Now()
+	defer func() { metFitDuration.Observe(time.Since(start).Seconds()) }()
 	pairs := e.labelledPairs()
 	if len(pairs) == 0 {
 		return fmt.Errorf("%w: no labelled measurements", ErrNoData)
@@ -279,6 +282,7 @@ func (e *Engine) CleanTrend(pumpID int, ageOf AgeFunc) ([]TrendPoint, error) {
 	entry, ok := e.trendCache[pumpID]
 	e.trendMu.Unlock()
 	if ok && entry.recordCount == len(recs) && entry.baseline == e.baseline {
+		metTrendCacheHits.Inc()
 		out := make([]TrendPoint, len(entry.trend))
 		copy(out, entry.trend)
 		for i := range out {
@@ -286,6 +290,9 @@ func (e *Engine) CleanTrend(pumpID int, ageOf AgeFunc) ([]TrendPoint, error) {
 		}
 		return out, nil
 	}
+	metTrendCacheMisses.Inc()
+	start := time.Now()
+	defer func() { metAnalyzeTrend.Observe(time.Since(start).Seconds()) }()
 	validIdx, _, err := preprocess.DetectOutliers(recs, preprocess.OutlierConfig{Bandwidth: e.opts.OutlierBandwidth})
 	if err != nil {
 		return nil, err

@@ -29,6 +29,7 @@ import (
 	"vibepm/internal/flush"
 	"vibepm/internal/mems"
 	"vibepm/internal/mote"
+	"vibepm/internal/obs"
 	"vibepm/internal/par"
 	"vibepm/internal/sched"
 	"vibepm/internal/store"
@@ -161,6 +162,10 @@ type Config struct {
 	// Workers caps the goroutines Advance fans out across motes
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Workers int
+	// Metrics receives the gateway's ingestion counters and fleet
+	// gauges; nil selects obs.Default. A harness that needs per-run
+	// numbers (vibechaos) passes its own registry.
+	Metrics *obs.Registry
 }
 
 // Server is the sensor management server. It is safe for concurrent
@@ -168,10 +173,11 @@ type Config struct {
 // state (links, retry stream, breaker, heartbeat) is guarded by its own
 // lock, so transfers of distinct motes proceed in parallel.
 type Server struct {
-	mu    sync.Mutex // guards motes map and registration order
-	cfg   Config
-	store *store.Measurements
-	motes map[int]*entry
+	mu      sync.Mutex // guards motes map and registration order
+	cfg     Config
+	store   *store.Measurements
+	motes   map[int]*entry
+	metrics *gatewayMetrics
 }
 
 type entry struct {
@@ -279,7 +285,11 @@ func New(cfg Config) *Server {
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
 	cfg.Breaker = cfg.Breaker.withDefaults()
-	return &Server{cfg: cfg, store: st, motes: make(map[int]*entry)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &Server{cfg: cfg, store: st, motes: make(map[int]*entry), metrics: newGatewayMetrics(reg)}
 }
 
 // Store returns the measurement database the server ingests into.
@@ -363,6 +373,8 @@ func (s *Server) Advance(nowDays float64) IngestReport {
 	for _, rep := range reports {
 		merged.merge(rep)
 	}
+	s.metrics.observeReport(merged)
+	s.updateFleetGauges(nowDays)
 	return merged
 }
 
@@ -376,7 +388,9 @@ func (s *Server) AdvanceMote(moteID int, nowDays float64) (IngestReport, error) 
 	if !ok {
 		return IngestReport{}, fmt.Errorf("%w: %d", ErrUnknownMote, moteID)
 	}
-	return s.advanceEntry(e, nowDays), nil
+	rep := s.advanceEntry(e, nowDays)
+	s.metrics.observeReport(rep)
+	return rep, nil
 }
 
 func (s *Server) advanceEntry(e *entry, nowDays float64) IngestReport {
@@ -567,6 +581,7 @@ func (s *Server) Drain() IngestReport {
 		e.mu.Unlock()
 		merged.merge(rep)
 	}
+	s.metrics.observeReport(merged)
 	return merged
 }
 

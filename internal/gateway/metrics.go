@@ -1,0 +1,95 @@
+package gateway
+
+import "vibepm/internal/obs"
+
+// gatewayMetrics caches the gateway's obs series so the ingestion path
+// pays only atomic adds. Counters mirror the IngestReport accounting
+// fields one-to-one; gauges track the fleet state the paper's
+// management GUI shows (registered / dead / quarantined motes).
+type gatewayMetrics struct {
+	stored           *obs.Counter
+	recovered        *obs.Counter
+	reordered        *obs.Counter
+	duplicates       *obs.Counter
+	transferFailures *obs.Counter
+	storeFailures    *obs.Counter
+	quarantined      *obs.Counter
+	crashDrops       *obs.Counter
+	delayed          *obs.Counter
+	retries          *obs.Counter
+	breakerTrips     *obs.Counter
+	packetsSent      *obs.Counter
+	retransmissions  *obs.Counter
+	newlyDead        *obs.Counter
+	revived          *obs.Counter
+	backoffSeconds   *obs.Gauge
+	motes            *obs.Gauge
+	motesDead        *obs.Gauge
+	motesQuarantined *obs.Gauge
+}
+
+func newGatewayMetrics(reg *obs.Registry) *gatewayMetrics {
+	return &gatewayMetrics{
+		stored:           reg.Counter("vibepm_gateway_stored_total"),
+		recovered:        reg.Counter("vibepm_gateway_recovered_total"),
+		reordered:        reg.Counter("vibepm_gateway_reordered_total"),
+		duplicates:       reg.Counter("vibepm_gateway_duplicates_suppressed_total"),
+		transferFailures: reg.Counter("vibepm_gateway_transfer_failures_total"),
+		storeFailures:    reg.Counter("vibepm_gateway_store_failures_total"),
+		quarantined:      reg.Counter("vibepm_gateway_quarantined_total"),
+		crashDrops:       reg.Counter("vibepm_gateway_crash_drops_total"),
+		delayed:          reg.Counter("vibepm_gateway_delayed_total"),
+		retries:          reg.Counter("vibepm_gateway_retries_total"),
+		breakerTrips:     reg.Counter("vibepm_gateway_breaker_trips_total"),
+		packetsSent:      reg.Counter("vibepm_gateway_packets_sent_total"),
+		retransmissions:  reg.Counter("vibepm_gateway_retransmissions_total"),
+		newlyDead:        reg.Counter("vibepm_gateway_motes_died_total"),
+		revived:          reg.Counter("vibepm_gateway_motes_revived_total"),
+		backoffSeconds:   reg.Gauge("vibepm_gateway_backoff_simulated_seconds"),
+		motes:            reg.Gauge("vibepm_gateway_motes"),
+		motesDead:        reg.Gauge("vibepm_gateway_motes_dead"),
+		motesQuarantined: reg.Gauge("vibepm_gateway_motes_quarantined"),
+	}
+}
+
+// observeReport folds one Advance/AdvanceMote/Drain report into the
+// counters. Centralizing here (instead of scattering increments through
+// advanceEntry) keeps the hot loop untouched and the accounting in one
+// place.
+func (m *gatewayMetrics) observeReport(rep IngestReport) {
+	m.stored.Add(uint64(rep.Stored))
+	m.recovered.Add(uint64(rep.Recovered))
+	m.reordered.Add(uint64(rep.Reordered))
+	m.duplicates.Add(uint64(rep.Duplicates))
+	m.transferFailures.Add(uint64(rep.TransferFailures))
+	m.storeFailures.Add(uint64(rep.StoreFailures))
+	m.quarantined.Add(uint64(rep.Quarantined))
+	m.crashDrops.Add(uint64(rep.CrashDrops))
+	m.delayed.Add(uint64(rep.Delayed))
+	m.retries.Add(uint64(rep.Retries))
+	m.breakerTrips.Add(uint64(rep.BreakerTrips))
+	m.packetsSent.Add(uint64(rep.PacketsSent))
+	m.retransmissions.Add(uint64(rep.Retransmissions))
+	m.newlyDead.Add(uint64(len(rep.NewlyDead)))
+	m.revived.Add(uint64(len(rep.Revived)))
+	m.backoffSeconds.Add(rep.BackoffSeconds)
+}
+
+// updateFleetGauges recomputes the mote-state gauges as of nowDays.
+func (s *Server) updateFleetGauges(nowDays float64) {
+	ents := s.entries()
+	var dead, quarantined int
+	for _, e := range ents {
+		e.mu.Lock()
+		if e.dead {
+			dead++
+		}
+		if nowDays < e.quarantinedUntil {
+			quarantined++
+		}
+		e.mu.Unlock()
+	}
+	s.metrics.motes.Set(float64(len(ents)))
+	s.metrics.motesDead.Set(float64(dead))
+	s.metrics.motesQuarantined.Set(float64(quarantined))
+}

@@ -1,0 +1,114 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+
+	"vibepm/internal/flush"
+	"vibepm/internal/mems"
+	"vibepm/internal/mote"
+	"vibepm/internal/obs"
+	"vibepm/internal/physics"
+)
+
+// TestMetricsMirrorIngestReport runs a scripted faulty soak on a
+// private registry and asserts every obs counter equals the summed
+// report fields — the metrics layer must not invent or lose events.
+func TestMetricsMirrorIngestReport(t *testing.T) {
+	var wakeups int
+	var storeCalls int
+	faults := &fakeFaults{
+		wrap: func(id int, fwd, rev flush.Channel) (flush.Channel, flush.Channel) {
+			// The first attempt's traffic is eaten, forcing one retry.
+			return &flakyChannel{base: fwd, dead: flush.MaxRounds * 10}, rev
+		},
+		wakeup: func(id int, at float64) WakeupFaults {
+			wakeups++
+			switch wakeups % 4 {
+			case 0:
+				return WakeupFaults{DuplicateDeliveries: 2}
+			case 1:
+				return WakeupFaults{DelayDelivery: true}
+			case 2:
+				return WakeupFaults{CrashMote: true}
+			}
+			return WakeupFaults{}
+		},
+		onStore: func(id int) error {
+			storeCalls++
+			if storeCalls%5 == 0 {
+				return errors.New("injected store blip")
+			}
+			return nil
+		},
+	}
+	reg := obs.NewRegistry()
+	srv, _ := newTestServer(t, 3, Config{
+		Faults:  faults,
+		Retry:   RetryConfig{MaxAttempts: 3},
+		Metrics: reg,
+		Workers: 1,
+	}, 6)
+	var total IngestReport
+	for now := 1.0; now <= 8; now++ {
+		total.merge(srv.Advance(now))
+	}
+	total.merge(srv.Drain())
+	if total.Stored == 0 || total.Retries == 0 || total.CrashDrops == 0 {
+		t.Fatalf("soak too tame to exercise the counters: %+v", total)
+	}
+
+	totals := reg.Totals()
+	for name, want := range map[string]int{
+		"vibepm_gateway_stored_total":                total.Stored,
+		"vibepm_gateway_recovered_total":             total.Recovered,
+		"vibepm_gateway_reordered_total":             total.Reordered,
+		"vibepm_gateway_duplicates_suppressed_total": total.Duplicates,
+		"vibepm_gateway_transfer_failures_total":     total.TransferFailures,
+		"vibepm_gateway_store_failures_total":        total.StoreFailures,
+		"vibepm_gateway_quarantined_total":           total.Quarantined,
+		"vibepm_gateway_crash_drops_total":           total.CrashDrops,
+		"vibepm_gateway_delayed_total":               total.Delayed,
+		"vibepm_gateway_retries_total":               total.Retries,
+		"vibepm_gateway_breaker_trips_total":         total.BreakerTrips,
+		"vibepm_gateway_packets_sent_total":          total.PacketsSent,
+		"vibepm_gateway_retransmissions_total":       total.Retransmissions,
+	} {
+		if got := totals[name]; got != float64(want) {
+			t.Errorf("%s = %g, want %d", name, got, want)
+		}
+	}
+	if got := totals["vibepm_gateway_backoff_simulated_seconds"]; got != total.BackoffSeconds {
+		t.Errorf("backoff seconds = %g, want %g", got, total.BackoffSeconds)
+	}
+	if got := totals["vibepm_gateway_motes"]; got != 3 {
+		t.Errorf("motes gauge = %g, want 3", got)
+	}
+}
+
+// TestDefaultRegistryWhenUnset proves a nil Metrics config wires the
+// gateway to obs.Default rather than panicking or dropping counts.
+func TestDefaultRegistryWhenUnset(t *testing.T) {
+	before := obs.Default.Counter("vibepm_gateway_stored_total").Value()
+	srv := New(Config{})
+	pump := physics.NewPump(physics.PumpConfig{ID: 0, Seed: 1})
+	sensor, err := mems.New(mems.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mote.New(mote.Config{ID: 0, ReportPeriodHours: 6, SamplesPerMeasurement: 64}, sensor, pump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := srv.Advance(2)
+	if rep.Stored == 0 {
+		t.Fatal("nothing stored")
+	}
+	after := obs.Default.Counter("vibepm_gateway_stored_total").Value()
+	if after < before+uint64(rep.Stored) {
+		t.Fatalf("default registry did not move: before %d, after %d, stored %d", before, after, rep.Stored)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a level name to its Level (case-insensitive),
+// defaulting to LevelInfo for unknown names.
+func ParseLevel(s string) Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger is a leveled structured logger emitting logfmt lines
+// (ts=… level=… msg=… key=value …). It is safe for concurrent use;
+// each line is written with a single Write call.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   atomic.Int32
+	base  string // preformatted " key=value" context from With
+	clock func() time.Time
+}
+
+// NewLogger returns a logger writing at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w, clock: time.Now}
+	l.min.Store(int32(min))
+	return l
+}
+
+// DefaultLogger writes info and above to stderr.
+var DefaultLogger = NewLogger(os.Stderr, LevelInfo)
+
+// SetLevel adjusts the minimum emitted level at runtime.
+func (l *Logger) SetLevel(min Level) { l.min.Store(int32(min)) }
+
+// Enabled reports whether lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool { return int32(lv) >= l.min.Load() }
+
+// With returns a child logger that prepends the given key/value context
+// to every line. The child shares the parent's writer and level.
+func (l *Logger) With(kv ...any) *Logger {
+	var b strings.Builder
+	b.WriteString(l.base)
+	appendKV(&b, kv)
+	// Each line is emitted with a single Write, so parent and children
+	// can safely share the writer without sharing a mutex.
+	child := &Logger{w: l.w, base: b.String(), clock: l.clock}
+	child.min.Store(l.min.Load())
+	return child
+}
+
+func logValue(v any) string {
+	s := fmt.Sprint(v)
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func appendKV(b *strings.Builder, kv []any) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		fmt.Fprintf(b, " %v=%s", kv[i], logValue(kv[i+1]))
+	}
+	if len(kv)%2 == 1 {
+		fmt.Fprintf(b, " EXTRA=%s", logValue(kv[len(kv)-1]))
+	}
+}
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.clock().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(logValue(msg))
+	b.WriteString(l.base)
+	appendKV(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"vibepm"
+	"vibepm/internal/obs"
 )
 
 // Analysis serves the derived results of a fitted engine — zone
@@ -19,14 +20,34 @@ type Analysis struct {
 	learnErr  error
 }
 
+// AnalysisOption customizes an Analysis handler.
+type AnalysisOption func(*analysisConfig)
+
+type analysisConfig struct {
+	metrics *obs.Registry
+}
+
+// WithAnalysisMetrics routes the analysis routes' HTTP metrics to reg
+// instead of obs.Default.
+func WithAnalysisMetrics(reg *obs.Registry) AnalysisOption {
+	return func(c *analysisConfig) { c.metrics = reg }
+}
+
 // NewAnalysis wraps a fitted engine. ageOf supplies equipment install
 // ages for RUL; nil limits the API to classification.
-func NewAnalysis(eng *vibepm.Engine, ageOf vibepm.AgeFunc) *Analysis {
+func NewAnalysis(eng *vibepm.Engine, ageOf vibepm.AgeFunc, opts ...AnalysisOption) *Analysis {
+	cfg := analysisConfig{metrics: obs.Default}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	a := &Analysis{eng: eng, ageOf: ageOf, mux: http.NewServeMux()}
-	a.mux.HandleFunc("GET /api/v1/analysis/boundary", a.handleBoundary)
-	a.mux.HandleFunc("GET /api/v1/analysis/pumps/{id}/zone", a.handleZone)
-	a.mux.HandleFunc("GET /api/v1/analysis/pumps/{id}/rul", a.handleRUL)
-	a.mux.HandleFunc("GET /api/v1/analysis/fleet", a.handleFleet)
+	handle := func(pattern string, h http.HandlerFunc) {
+		a.mux.HandleFunc(pattern, instrumentHandler(cfg.metrics, pattern, h))
+	}
+	handle("GET /api/v1/analysis/boundary", a.handleBoundary)
+	handle("GET /api/v1/analysis/pumps/{id}/zone", a.handleZone)
+	handle("GET /api/v1/analysis/pumps/{id}/rul", a.handleRUL)
+	handle("GET /api/v1/analysis/fleet", a.handleFleet)
 	return a
 }
 

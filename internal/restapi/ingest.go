@@ -4,6 +4,8 @@ import (
 	"encoding/base64"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 
 	"vibepm/internal/store"
@@ -24,11 +26,16 @@ type IngestRequest struct {
 	Z string `json:"z"`
 }
 
-// decodeAxis unpacks one base64 axis payload.
+// decodeAxis unpacks one base64 axis payload. An odd byte count means
+// a truncated or corrupt int16 stream; rejecting it beats silently
+// dropping the trailing byte and shifting every later sample.
 func decodeAxis(s string) ([]int16, error) {
 	raw, err := base64.StdEncoding.DecodeString(s)
 	if err != nil {
 		return nil, err
+	}
+	if len(raw)%2 != 0 {
+		return nil, fmt.Errorf("odd payload length %d bytes: samples are little-endian int16", len(raw))
 	}
 	out := make([]int16, len(raw)/2)
 	for i := range out {
@@ -48,12 +55,23 @@ func EncodeAxis(samples []int16) string {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Bound the body before decoding: a client cannot make the server
+	// buffer an unbounded JSON/base64 payload.
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.ingestRejected.Inc()
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.ingestRejected.Inc()
 		writeErr(w, http.StatusBadRequest, "bad measurement: %v", err)
 		return
 	}
 	if req.SampleRateHz <= 0 || req.ScaleG <= 0 {
+		s.ingestRejected.Inc()
 		writeErr(w, http.StatusBadRequest, "sample_rate_hz and scale_g must be positive")
 		return
 	}
@@ -66,6 +84,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for axis, payload := range []string{req.X, req.Y, req.Z} {
 		samples, err := decodeAxis(payload)
 		if err != nil {
+			s.ingestRejected.Inc()
 			writeErr(w, http.StatusBadRequest, "axis %d: %v", axis, err)
 			return
 		}
@@ -73,10 +92,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	k := rec.Samples()
 	if k == 0 || len(rec.Raw[1]) != k || len(rec.Raw[2]) != k {
+		s.ingestRejected.Inc()
 		writeErr(w, http.StatusBadRequest, "axes must be non-empty and equal length")
 		return
 	}
-	s.measurements.Add(rec)
+	// Idempotent insert: a retried or duplicated POST must not inflate
+	// the series — the same guarantee the gateway's transport path has.
+	if !s.measurements.AddUnique(rec) {
+		s.ingestDuplicates.Inc()
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":        "duplicate measurement",
+			"pump_id":      rec.PumpID,
+			"service_days": rec.ServiceDays,
+		})
+		return
+	}
+	s.ingestAccepted.Inc()
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"pump_id": rec.PumpID, "service_days": rec.ServiceDays, "samples": k,
 	})

@@ -1,0 +1,46 @@
+package restapi
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"vibepm/internal/obs"
+)
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can label the request counter with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumentHandler wraps h with the per-route HTTP metrics: a request
+// duration histogram labelled by route pattern and a request counter
+// labelled by route and status. The histogram pointer is resolved once
+// per route at registration; only the status-labelled counter lookup
+// happens per request.
+func instrumentHandler(reg *obs.Registry, route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := reg.Histogram("vibepm_http_request_duration_seconds", obs.DurationBuckets, "route", route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		reg.Counter("vibepm_http_requests_total",
+			"route", route, "status", strconv.Itoa(sw.status)).Inc()
+	}
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format — the scrape endpoint of the paper's always-on management
+// server.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}

@@ -1,0 +1,240 @@
+package restapi
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vibepm/internal/gateway"
+	"vibepm/internal/mems"
+	"vibepm/internal/mote"
+	"vibepm/internal/obs"
+	"vibepm/internal/physics"
+	"vibepm/internal/store"
+)
+
+func ingestBody(t *testing.T, pumpID int, day float64, n int) []byte {
+	t.Helper()
+	samples := make([]int16, n)
+	for i := range samples {
+		samples[i] = int16(i * 7)
+	}
+	payload := map[string]any{
+		"pump_id": pumpID, "service_days": day,
+		"sample_rate_hz": 4000.0, "scale_g": 0.003,
+		"x": EncodeAxis(samples), "y": EncodeAxis(samples), "z": EncodeAxis(samples),
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postIngest(s http.Handler, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/measurements", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestIngestDuplicateConflict pins the bugfix: a retried or duplicated
+// POST must return 409 and provably cannot inflate the series.
+func TestIngestDuplicateConflict(t *testing.T) {
+	m := store.NewMeasurements()
+	s := New(m, nil, nil, WithMetrics(obs.NewRegistry()))
+	body := ingestBody(t, 7, 2.5, 64)
+	if rec := postIngest(s, body); rec.Code != http.StatusCreated {
+		t.Fatalf("first POST status %d: %s", rec.Code, rec.Body.String())
+	}
+	lenAfterFirst := m.Len()
+	rec := postIngest(s, body)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate POST status %d, want 409: %s", rec.Code, rec.Body.String())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["pump_id"].(float64) != 7 || resp["service_days"].(float64) != 2.5 {
+		t.Fatalf("409 body must identify the duplicate: %v", resp)
+	}
+	if m.Len() != lenAfterFirst {
+		t.Fatalf("store grew on duplicate: %d -> %d", lenAfterFirst, m.Len())
+	}
+	// A hundred replays still cannot inflate the series.
+	for i := 0; i < 100; i++ {
+		postIngest(s, body)
+	}
+	if m.Len() != lenAfterFirst {
+		t.Fatalf("store inflated by replays: %d -> %d", lenAfterFirst, m.Len())
+	}
+}
+
+// TestIngestBodyCap pins the bugfix: bodies over the cap draw 413, and
+// the cap is configurable.
+func TestIngestBodyCap(t *testing.T) {
+	m := store.NewMeasurements()
+	s := New(m, nil, nil, WithMetrics(obs.NewRegistry()), WithMaxBodyBytes(1024))
+	big := ingestBody(t, 1, 1, 4096) // ~48 KiB of base64, far past 1 KiB
+	if rec := postIngest(s, big); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST status %d, want 413", rec.Code)
+	}
+	if m.Len() != 0 {
+		t.Fatal("oversized body must not be stored")
+	}
+	small := ingestBody(t, 1, 1, 32)
+	if rec := postIngest(s, small); rec.Code != http.StatusCreated {
+		t.Fatalf("small POST under cap status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestIngestOddLengthAxis pins the decodeAxis fix: a payload that is
+// not a whole number of int16s is rejected, not truncated.
+func TestIngestOddLengthAxis(t *testing.T) {
+	s := New(store.NewMeasurements(), nil, nil, WithMetrics(obs.NewRegistry()))
+	odd := base64.StdEncoding.EncodeToString([]byte{1, 2, 3}) // 3 bytes
+	even := EncodeAxis([]int16{1, 2})
+	body := []byte(`{"pump_id":1,"service_days":1,"sample_rate_hz":4000,"scale_g":0.01,` +
+		`"x":"` + odd + `","y":"` + even + `","z":"` + even + `"}`)
+	rec := postIngest(s, body)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("odd-length axis status %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "odd payload length") {
+		t.Fatalf("error should name the defect: %s", rec.Body.String())
+	}
+}
+
+// TestRangeValidation pins the parseRange fix: inverted and NaN ranges
+// are client errors, not silently empty results.
+func TestRangeValidation(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	for _, path := range []string{
+		"/api/v1/pumps/3/measurements?from=5&to=1",
+		"/api/v1/pumps/3/measurements?from=NaN",
+		"/api/v1/pumps/3/measurements?to=NaN",
+		"/api/v1/pumps/3/psd?from=5&to=1",
+	} {
+		rec, _ := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s status %d, want 400", path, rec.Code)
+		}
+	}
+	// Equal bounds remain a valid single-instant range.
+	rec, _ := get(t, s, "/api/v1/pumps/3/measurements?from=2&to=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("from==to status %d, want 200", rec.Code)
+	}
+}
+
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// scrape fetches /api/v1/metrics and parses the exposition into
+// sample → value, failing on any malformed line.
+func scrape(t *testing.T, h http.Handler) map[string]float64 {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("invalid exposition line %q", line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsEndpointEndToEnd drives the whole stack — gateway
+// ingestion, engine fit and fleet analysis, REST traffic — against the
+// default registry and asserts GET /api/v1/metrics exposes valid
+// Prometheus text with gateway counters, engine duration histograms,
+// and per-route HTTP metrics, and that counters move with traffic.
+func TestMetricsEndpointEndToEnd(t *testing.T) {
+	// Gateway ingestion: one mote delivering into a store on obs.Default.
+	gw := gateway.New(gateway.Config{})
+	pump := physics.NewPump(physics.PumpConfig{ID: 0, Seed: 9})
+	sensor, err := mems.New(mems.Config{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := mote.New(mote.Config{ID: 0, ReportPeriodHours: 6, SamplesPerMeasurement: 64}, sensor, pump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Register(mt, 0); err != nil {
+		t.Fatal(err)
+	}
+	gwRep := gw.Advance(3)
+	if gwRep.Stored == 0 {
+		t.Fatal("gateway stored nothing")
+	}
+
+	// Engine: fit and analyze so the duration histograms observe.
+	eng, age := fittedEngine(t)
+	if _, err := eng.AnalyzeAll(age); err != nil {
+		t.Fatal(err)
+	}
+
+	// REST traffic through the instrumented mux (default registry).
+	s := New(gw.Store(), nil, nil)
+	rec, _ := get(t, s, "/api/v1/pumps")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pumps status %d", rec.Code)
+	}
+
+	samples := scrape(t, s)
+	if samples["vibepm_gateway_stored_total"] < float64(gwRep.Stored) {
+		t.Fatalf("gateway counter missing or behind: %g < %d",
+			samples["vibepm_gateway_stored_total"], gwRep.Stored)
+	}
+	if samples["vibepm_engine_fit_duration_seconds_count"] < 1 {
+		t.Fatal("engine fit histogram did not observe")
+	}
+	if samples[`vibepm_engine_analyze_duration_seconds_count{op="analyze_all"}`] < 1 {
+		t.Fatal("engine analyze histogram did not observe")
+	}
+	routeKey := `vibepm_http_requests_total{route="GET /api/v1/pumps",status="200"}`
+	firstCount := samples[routeKey]
+	if firstCount < 1 {
+		t.Fatalf("per-route HTTP counter missing: %v", firstCount)
+	}
+	if samples[`vibepm_http_request_duration_seconds_count{route="GET /api/v1/pumps"}`] < 1 {
+		t.Fatal("per-route duration histogram did not observe")
+	}
+	if samples["vibepm_store_records_added_total"] < float64(gwRep.Stored) {
+		t.Fatal("store counter missing or behind")
+	}
+
+	// Counters move after more traffic.
+	for i := 0; i < 3; i++ {
+		get(t, s, "/api/v1/pumps")
+	}
+	again := scrape(t, s)
+	if again[routeKey] != firstCount+3 {
+		t.Fatalf("route counter did not move: %g -> %g", firstCount, again[routeKey])
+	}
+}

@@ -7,12 +7,20 @@ package restapi
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
+	"vibepm/internal/obs"
 	"vibepm/internal/store"
 	"vibepm/internal/transform"
 )
+
+// DefaultMaxBodyBytes caps ingest request bodies: 8 MiB fits the
+// largest sensor capture (3 axes × 1 Mi samples × 2 bytes, base64)
+// with headroom, while bounding what one client can make the server
+// buffer.
+const DefaultMaxBodyBytes = 8 << 20
 
 // Server wires the stores into an http.Handler.
 type Server struct {
@@ -20,23 +28,68 @@ type Server struct {
 	labels       *store.Labels
 	periods      *store.PeriodManager
 	mux          *http.ServeMux
+	metrics      *obs.Registry
+	maxBodyBytes int64
+
+	ingestAccepted   *obs.Counter
+	ingestDuplicates *obs.Counter
+	ingestRejected   *obs.Counter
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithMetrics routes the server's HTTP and ingest metrics (and the
+// /api/v1/metrics exposition) to reg instead of obs.Default.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithMaxBodyBytes overrides the ingest body cap (n <= 0 keeps the
+// default).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBodyBytes = n
+		}
+	}
 }
 
 // New builds the API server. labels and periods may be nil, disabling
 // the corresponding endpoints.
-func New(m *store.Measurements, l *store.Labels, p *store.PeriodManager) *Server {
-	s := &Server{measurements: m, labels: l, periods: p, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /api/v1/pumps", s.handlePumps)
-	s.mux.HandleFunc("GET /api/v1/pumps/{id}/measurements", s.handleMeasurements)
-	s.mux.HandleFunc("POST /api/v1/measurements", s.handleIngest)
-	s.mux.HandleFunc("GET /api/v1/pumps/{id}/psd", s.handlePSD)
-	s.mux.HandleFunc("GET /api/v1/labels", s.handleLabels)
-	s.mux.HandleFunc("GET /api/v1/period", s.handleGetPeriod)
-	s.mux.HandleFunc("PUT /api/v1/period", s.handlePutPeriod)
-	s.mux.HandleFunc("GET /api/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+func New(m *store.Measurements, l *store.Labels, p *store.PeriodManager, opts ...Option) *Server {
+	s := &Server{
+		measurements: m, labels: l, periods: p,
+		mux:          http.NewServeMux(),
+		metrics:      obs.Default,
+		maxBodyBytes: DefaultMaxBodyBytes,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.ingestAccepted = s.metrics.Counter("vibepm_ingest_accepted_total")
+	s.ingestDuplicates = s.metrics.Counter("vibepm_ingest_duplicates_total")
+	s.ingestRejected = s.metrics.Counter("vibepm_ingest_rejected_total")
+	s.handle("GET /api/v1/pumps", s.handlePumps)
+	s.handle("GET /api/v1/pumps/{id}/measurements", s.handleMeasurements)
+	s.handle("POST /api/v1/measurements", s.handleIngest)
+	s.handle("GET /api/v1/pumps/{id}/psd", s.handlePSD)
+	s.handle("GET /api/v1/labels", s.handleLabels)
+	s.handle("GET /api/v1/period", s.handleGetPeriod)
+	s.handle("PUT /api/v1/period", s.handlePutPeriod)
+	s.handle("GET /api/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// The scrape endpoint itself is served uninstrumented so a scrape
+	// does not perturb the series it reads.
+	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
 	return s
+}
+
+// handle registers h under pattern with the per-route metrics
+// middleware.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, instrumentHandler(s.metrics, pattern, h))
 }
 
 // ServeHTTP implements http.Handler.
@@ -76,6 +129,15 @@ func (s *Server) parseRange(r *http.Request) (from, to float64, err error) {
 		if err != nil {
 			return 0, 0, fmt.Errorf("bad to: %w", err)
 		}
+	}
+	// ParseFloat accepts "NaN" and "Inf"; NaN bounds poison every
+	// comparison downstream, and an inverted range is a client bug that
+	// used to masquerade as an empty result.
+	if math.IsNaN(from) || math.IsNaN(to) {
+		return 0, 0, fmt.Errorf("range bounds must not be NaN")
+	}
+	if from > to {
+		return 0, 0, fmt.Errorf("inverted range: from %g > to %g", from, to)
 	}
 	return from, to, nil
 }

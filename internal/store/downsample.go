@@ -30,10 +30,19 @@ func DownsampleMinMax(series []SeriesPoint, maxPoints int) []SeriesPoint {
 		copy(out, series)
 		return out
 	}
-	buckets := maxPoints / 2
-	if buckets < 1 {
-		buckets = 1
+	if maxPoints == 1 {
+		// A single bucket would still emit its min AND max, breaking the
+		// "at most maxPoints" contract; keep only the global maximum —
+		// the extreme an alarm dashboard cares about.
+		best := 0
+		for i := range series {
+			if series[i].Value > series[best].Value {
+				best = i
+			}
+		}
+		return []SeriesPoint{series[best]}
 	}
+	buckets := maxPoints / 2
 	out := make([]SeriesPoint, 0, buckets*2)
 	for b := 0; b < buckets; b++ {
 		lo := b * n / buckets

@@ -75,6 +75,59 @@ func TestDownsampleShortSeriesUnchanged(t *testing.T) {
 	}
 }
 
+// TestDownsampleEdgeCases pins the "at most maxPoints" contract at the
+// boundaries where the bucketed min/max scheme used to overflow it
+// (maxPoints == 1 historically returned 2 points).
+func TestDownsampleEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		series    []SeriesPoint
+		maxPoints int
+		wantLen   int
+		wantMax   bool // the global maximum must survive
+	}{
+		{"maxPoints0-copies", seriesOf(5, 1, 9), 0, 3, true},
+		{"maxPoints1-single", seriesOf(5, 1, 9, 2), 1, 1, true},
+		{"maxPoints1-of-two", seriesOf(3, 7), 1, 1, true},
+		{"maxPoints2", seriesOf(5, 1, 9, 2, 4), 2, 2, true},
+		{"n-eq-maxPoints-plus-1", seriesOf(1, 2, 3, 4), 3, 2, true},
+		{"n-eq-maxPoints", seriesOf(1, 2, 3), 3, 3, true},
+		{"empty", nil, 1, 0, false},
+		{"single-point", seriesOf(42), 1, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			down := DownsampleMinMax(tc.series, tc.maxPoints)
+			if len(down) != tc.wantLen {
+				t.Fatalf("len = %d, want %d (%+v)", len(down), tc.wantLen, down)
+			}
+			if tc.maxPoints > 0 && len(down) > tc.maxPoints {
+				t.Fatalf("contract violated: %d points > maxPoints %d", len(down), tc.maxPoints)
+			}
+			if tc.wantMax {
+				gmax := math.Inf(-1)
+				for _, p := range tc.series {
+					gmax = math.Max(gmax, p.Value)
+				}
+				found := false
+				for _, p := range down {
+					if p.Value == gmax {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("global max %g lost: %+v", gmax, down)
+				}
+			}
+			for i := 1; i < len(down); i++ {
+				if down[i].ServiceDays < down[i-1].ServiceDays {
+					t.Fatal("time order broken")
+				}
+			}
+		})
+	}
+}
+
 func TestDownsampleGlobalExtremesProperty(t *testing.T) {
 	f := func(raw []byte, maxSeed uint8) bool {
 		if len(raw) == 0 {

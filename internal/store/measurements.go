@@ -40,6 +40,8 @@ func (m *Measurements) Add(rec *Record) {
 	series[i] = rec
 	m.byPump[rec.PumpID] = series
 	m.count++
+	metRecordsAdded.Inc()
+	metRecordBytes.Add(rawBytes(rec))
 }
 
 // AddUnique inserts rec unless the pump already holds a record at the
@@ -55,6 +57,7 @@ func (m *Measurements) AddUnique(rec *Record) bool {
 		return series[i].ServiceDays >= rec.ServiceDays
 	})
 	if i < len(series) && series[i].ServiceDays == rec.ServiceDays {
+		metDupSuppress.Inc()
 		return false
 	}
 	series = append(series, nil)
@@ -62,6 +65,8 @@ func (m *Measurements) AddUnique(rec *Record) bool {
 	series[i] = rec
 	m.byPump[rec.PumpID] = series
 	m.count++
+	metRecordsAdded.Inc()
+	metRecordBytes.Add(rawBytes(rec))
 	return true
 }
 
@@ -199,6 +204,7 @@ func (m *Measurements) Load(r io.Reader) error {
 	m.byPump = fresh
 	m.count = loaded
 	m.mu.Unlock()
+	metRecordsLoad.Add(uint64(loaded))
 	return nil
 }
 

@@ -1,0 +1,21 @@
+package store
+
+import "vibepm/internal/obs"
+
+// Process-wide store metrics on the default registry. They aggregate
+// across every Measurements instance in the process — the per-process
+// totals an operator scrapes, mirroring how Prometheus process metrics
+// behave. The pointers are resolved once at init so the insert hot
+// path pays only atomic adds.
+var (
+	metRecordsAdded = obs.Default.Counter("vibepm_store_records_added_total")
+	metRecordBytes  = obs.Default.Counter("vibepm_store_record_bytes_total")
+	metDupSuppress  = obs.Default.Counter("vibepm_store_duplicates_suppressed_total")
+	metRecordsLoad  = obs.Default.Counter("vibepm_store_records_loaded_total")
+)
+
+// rawBytes is the in-memory payload size of one record: three int16
+// axes plus the fixed metadata fields.
+func rawBytes(rec *Record) uint64 {
+	return uint64(2 * (len(rec.Raw[0]) + len(rec.Raw[1]) + len(rec.Raw[2])))
+}

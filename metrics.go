@@ -1,0 +1,19 @@
+package vibepm
+
+import "vibepm/internal/obs"
+
+// Engine metrics on the process-wide registry: training and analysis
+// latency distributions plus the trend-cache effectiveness counters
+// that tell an operator whether the repeated-experiment pattern is
+// actually hitting the cache. Resolved once at init so the analysis hot
+// paths pay only atomic updates.
+var (
+	metFitDuration = obs.Default.Histogram(
+		"vibepm_engine_fit_duration_seconds", obs.DurationBuckets)
+	metAnalyzeTrend = obs.Default.Histogram(
+		"vibepm_engine_analyze_duration_seconds", obs.DurationBuckets, "op", "clean_trend")
+	metAnalyzeFleet = obs.Default.Histogram(
+		"vibepm_engine_analyze_duration_seconds", obs.DurationBuckets, "op", "analyze_all")
+	metTrendCacheHits   = obs.Default.Counter("vibepm_engine_trend_cache_hits_total")
+	metTrendCacheMisses = obs.Default.Counter("vibepm_engine_trend_cache_misses_total")
+)
