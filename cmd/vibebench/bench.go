@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	"vibepm"
@@ -100,7 +101,7 @@ func benchSuite() ([]benchCase, error) {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
 	hFreq, hPSD := benchFeaturePSD(1024)
-	return []benchCase{
+	cases := []benchCase{
 		{"FFT1024", func(b *testing.B) {
 			x := benchSignal(1024)
 			buf := make([]complex128, 1024)
@@ -186,7 +187,19 @@ func benchSuite() ([]benchCase, error) {
 				}
 			}
 		}},
-	}, nil
+	}
+	return append(cases, benchSuitePR4()...), nil
+}
+
+// baselineFor looks a case up across the per-PR baseline maps.
+func baselineFor(name string) (benchResult, bool) {
+	if base, ok := prePR2Baseline[name]; ok {
+		return base, true
+	}
+	if base, ok := prePR4Baseline[name]; ok {
+		return base, true
+	}
+	return benchResult{}, false
 }
 
 // runBenchSuite executes every case via testing.Benchmark and collects
@@ -209,7 +222,7 @@ func runBenchSuite() (*benchSnapshot, error) {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
-		if base, ok := prePR2Baseline[c.name]; ok {
+		if base, ok := baselineFor(c.name); ok {
 			res.BaselineNsPerOp = base.NsPerOp
 			res.BaselineAllocsPerOp = base.AllocsPerOp
 		}
@@ -266,8 +279,11 @@ func gateSnapshot(current, committed *benchSnapshot, tol float64) error {
 }
 
 // runBenchCommand implements the -bench / -benchout / -benchgate flags
-// and returns the process exit code.
-func runBenchCommand(outPath, gatePath string, tol float64) int {
+// and returns the process exit code. gatePaths may name several
+// committed snapshots, comma-separated; the suite runs once and is
+// compared against each, so stacked per-PR snapshots share one
+// measurement.
+func runBenchCommand(outPath, gatePaths string, tol float64) int {
 	snap, err := runBenchSuite()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -285,7 +301,11 @@ func runBenchCommand(outPath, gatePath string, tol float64) int {
 		}
 		fmt.Printf("snapshot written to %s\n", outPath)
 	}
-	if gatePath != "" {
+	for _, gatePath := range strings.Split(gatePaths, ",") {
+		gatePath = strings.TrimSpace(gatePath)
+		if gatePath == "" {
+			continue
+		}
 		data, err := os.ReadFile(gatePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: read committed snapshot: %v\n", err)

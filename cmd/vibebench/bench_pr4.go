@@ -1,0 +1,119 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vibepm/internal/physics"
+	"vibepm/internal/restapi"
+	"vibepm/internal/store"
+)
+
+// prePR4Baseline holds the data-plane timings measured immediately
+// before the sharded store / downsample pyramid / oscillator kernel
+// landed, on the reference machine, with benchmark shapes identical to
+// the current suite:
+//
+//   - Acceleration synthesized every sample with math.Sin (13
+//     allocs/op from the spec and axis buffers);
+//   - StoreAddQuery ran against the single-RWMutex store;
+//   - PyramidDownsample10k is DownsampleMinMax's direct O(n) scan over
+//     the same 10k-point series;
+//   - HTTPTrend10k is the naive per-request cost (extract + direct
+//     downsample + marshal) a trend endpoint without the pyramid and
+//     response caches would pay.
+var prePR4Baseline = map[string]benchResult{
+	"Acceleration1024":     {NsPerOp: 902750, AllocsPerOp: 13},
+	"AccelerationInto1024": {NsPerOp: 902750, AllocsPerOp: 13},
+	"StoreAddQuery":        {NsPerOp: 592554, AllocsPerOp: 1189},
+	"PyramidDownsample10k": {NsPerOp: 34664, AllocsPerOp: 1},
+	"HTTPTrend10k":         {NsPerOp: 525707, AllocsPerOp: 6},
+}
+
+// benchSuitePR4 assembles the data-plane cases added with the sharded
+// store / pyramid / oscillator work. Each mirrors a committed go-test
+// benchmark in its package.
+func benchSuitePR4() []benchCase {
+	return []benchCase{
+		{"Acceleration1024", func(b *testing.B) {
+			p := physics.NewPump(physics.PumpConfig{ID: 7, Seed: 42, InitialAgeDays: 500})
+			b.ReportAllocs()
+			for b.Loop() {
+				p.Acceleration(80, 4000, 1024)
+			}
+		}},
+		{"AccelerationInto1024", func(b *testing.B) {
+			p := physics.NewPump(physics.PumpConfig{ID: 7, Seed: 42, InitialAgeDays: 500})
+			ax := make([]float64, 1024)
+			ay := make([]float64, 1024)
+			az := make([]float64, 1024)
+			b.ReportAllocs()
+			for b.Loop() {
+				p.AccelerationInto(ax, ay, az, 80, 4000)
+			}
+		}},
+		{"StoreAddQuery", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			recs := make([]*store.Record, 1024)
+			for i := range recs {
+				raw := make([]int16, 64)
+				for j := range raw {
+					raw[j] = int16(rng.Intn(100))
+				}
+				recs[i] = &store.Record{
+					PumpID:       i % 16,
+					ServiceDays:  float64(i) / 7,
+					SampleRateHz: 4000,
+					ScaleG:       0.003,
+					Raw:          [3][]int16{raw, raw, raw},
+				}
+			}
+			b.ReportAllocs()
+			for b.Loop() {
+				m := store.NewMeasurements()
+				for _, r := range recs {
+					m.Add(r)
+				}
+				for i := 0; i < 1024; i++ {
+					m.Query(i%16, 0, 1e9)
+				}
+			}
+		}},
+		{"PyramidDownsample10k", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			series := make([]store.SeriesPoint, 10000)
+			for i := range series {
+				series[i] = store.SeriesPoint{ServiceDays: float64(i), Value: rng.NormFloat64()}
+			}
+			pyr := store.NewPyramid(series)
+			b.ReportAllocs()
+			for b.Loop() {
+				pyr.Downsample(256)
+			}
+		}},
+		{"HTTPTrend10k", func(b *testing.B) {
+			m := store.NewMeasurements()
+			for i := 0; i < 10000; i++ {
+				m.Add(&store.Record{
+					PumpID:       1,
+					ServiceDays:  float64(i),
+					SampleRateHz: 4000,
+					ScaleG:       0.003,
+					Raw:          [3][]int16{{int16(i % 997), int16(i % 31)}, {1, 2}, {3, 4}},
+				})
+			}
+			srv := restapi.New(m, nil, nil)
+			b.ReportAllocs()
+			for b.Loop() {
+				req := httptest.NewRequest(http.MethodGet, "/api/v1/pumps/1/trend?points=512", nil)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("trend status %d", rec.Code)
+				}
+			}
+		}},
+	}
+}

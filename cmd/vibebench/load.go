@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// loadConfig drives the closed-loop HTTP load mode: each worker issues
+// the next request as soon as the previous response is drained, so the
+// measured throughput is the server's, not the generator's.
+type loadConfig struct {
+	baseURL     string
+	concurrency int
+	duration    time.Duration
+	paths       []string
+}
+
+// defaultLoadPaths is the read-side mix a dashboard session produces
+// against a vibed instance: pump discovery, trend panels at two
+// budgets, the fleet view, and a health probe.
+var defaultLoadPaths = []string{
+	"/api/v1/pumps",
+	"/api/v1/pumps/0/trend?points=256",
+	"/api/v1/pumps/1/trend?points=512",
+	"/api/v1/analysis/fleet",
+	"/api/v1/healthz",
+}
+
+// loadResult aggregates one worker's outcomes.
+type loadResult struct {
+	ok        int
+	errs      int
+	latencies []time.Duration
+}
+
+// quantile returns the q-quantile (0..1) of sorted latencies.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// runLoadCommand implements -load: hammer a live vibed with the
+// read-side request mix and report req/s plus latency quantiles.
+// Returns the process exit code; zero successful requests is a
+// failure, which is what the load-smoke make target asserts.
+func runLoadCommand(baseURL string, concurrency int, duration time.Duration, pathsCSV string) int {
+	cfg := loadConfig{
+		baseURL:     strings.TrimRight(baseURL, "/"),
+		concurrency: concurrency,
+		duration:    duration,
+		paths:       defaultLoadPaths,
+	}
+	if pathsCSV != "" {
+		cfg.paths = nil
+		for _, p := range strings.Split(pathsCSV, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.paths = append(cfg.paths, p)
+			}
+		}
+	}
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 1
+	}
+	if len(cfg.paths) == 0 {
+		fmt.Fprintln(os.Stderr, "load: no request paths")
+		return 2
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	// One warmup pass over the mix: fail fast on an unreachable server
+	// instead of reporting 0 req/s after the full duration, and let the
+	// server populate its caches outside the timed window.
+	for _, p := range cfg.paths {
+		resp, err := client.Get(cfg.baseURL + p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: warmup %s: %v\n", p, err)
+			return 1
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			fmt.Fprintf(os.Stderr, "load: warmup %s: status %d\n", p, resp.StatusCode)
+			return 1
+		}
+	}
+
+	var stopFlag atomic.Bool
+	results := make([]loadResult, cfg.concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			for i := w; !stopFlag.Load(); i++ {
+				p := cfg.paths[i%len(cfg.paths)]
+				t0 := time.Now()
+				resp, err := client.Get(cfg.baseURL + p)
+				if err != nil {
+					res.errs++
+					continue
+				}
+				_, copyErr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if copyErr != nil || resp.StatusCode != http.StatusOK {
+					res.errs++
+					continue
+				}
+				res.ok++
+				res.latencies = append(res.latencies, time.Since(t0))
+			}
+		}(w)
+	}
+	time.Sleep(cfg.duration)
+	stopFlag.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var ok, errs int
+	var all []time.Duration
+	for _, r := range results {
+		ok += r.ok
+		errs += r.errs
+		all = append(all, r.latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	reqPerSec := float64(ok) / elapsed.Seconds()
+
+	fmt.Printf("load: %d workers x %s against %s (%d paths)\n",
+		cfg.concurrency, cfg.duration, cfg.baseURL, len(cfg.paths))
+	fmt.Printf("  requests: %d ok, %d failed (%.1f req/s)\n", ok, errs, reqPerSec)
+	if len(all) > 0 {
+		fmt.Printf("  latency:  p50 %s  p90 %s  p99 %s  max %s\n",
+			quantile(all, 0.50).Round(time.Microsecond),
+			quantile(all, 0.90).Round(time.Microsecond),
+			quantile(all, 0.99).Round(time.Microsecond),
+			all[len(all)-1].Round(time.Microsecond))
+	}
+	if ok == 0 {
+		fmt.Fprintln(os.Stderr, "load: no successful requests")
+		return 1
+	}
+	return 0
+}

@@ -12,11 +12,19 @@
 // Benchmark-regression harness:
 //
 //	vibebench -bench                          # run the hot-path suite
-//	vibebench -bench -benchout BENCH_PR2.json # write a snapshot
-//	vibebench -bench -benchgate BENCH_PR2.json [-benchtol 0.30]
+//	vibebench -bench -benchout BENCH_PR4.json # write a snapshot
+//	vibebench -bench -benchgate BENCH_PR2.json,BENCH_PR4.json [-benchtol 0.30]
 //	                                          # gate vs the committed
-//	                                          # snapshot, exit 1 past
+//	                                          # snapshot(s), exit 1 past
 //	                                          # ±tolerance
+//
+// HTTP load harness (against a live vibed):
+//
+//	vibebench -load -load-url http://127.0.0.1:8080 \
+//	          -load-concurrency 4 -load-duration 5s
+//	                                          # closed-loop read-mix load,
+//	                                          # reports req/s + p50/p90/p99,
+//	                                          # exit 1 on zero successes
 package main
 
 import (
@@ -89,11 +97,19 @@ func main() {
 		outDir    = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
 		bench     = flag.Bool("bench", false, "run the hot-path benchmark suite instead of experiments")
 		benchOut  = flag.String("benchout", "", "write the benchmark snapshot JSON to this path (implies -bench)")
-		benchGate = flag.String("benchgate", "", "compare the suite against this committed snapshot; exit 1 past tolerance (implies -bench)")
+		benchGate = flag.String("benchgate", "", "comma-separated committed snapshot(s) to gate against; exit 1 past tolerance (implies -bench)")
 		benchTol  = flag.Float64("benchtol", 0.30, "relative tolerance for -benchgate")
+		load      = flag.Bool("load", false, "drive a live vibed with the read-side request mix and report req/s + latency quantiles")
+		loadURL   = flag.String("load-url", "http://127.0.0.1:8080", "base URL of the vibed instance for -load")
+		loadConc  = flag.Int("load-concurrency", 4, "concurrent workers for -load")
+		loadDur   = flag.Duration("load-duration", 5*time.Second, "measurement window for -load")
+		loadPaths = flag.String("load-paths", "", "comma-separated request paths for -load (default: built-in dashboard mix)")
 	)
 	flag.Parse()
 
+	if *load {
+		os.Exit(runLoadCommand(*loadURL, *loadConc, *loadDur, *loadPaths))
+	}
 	if *bench || *benchOut != "" || *benchGate != "" {
 		os.Exit(runBenchCommand(*benchOut, *benchGate, *benchTol))
 	}

@@ -28,6 +28,7 @@ func main() {
 		labelsA = flag.Int("labels-a", 700, "Zone A labels")
 		labelsB = flag.Int("labels-bc", 1400, "Zone BC labels")
 		labelsD = flag.Int("labels-d", 700, "Zone D labels")
+		workers = flag.Int("workers", 0, "capture workers (0 = one per CPU); output is identical at any count")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 			physics.MergedBC: *labelsB,
 			physics.MergedD:  *labelsD,
 		},
+		Workers: *workers,
 	}
 	fmt.Printf("generating %d pumps x %.0f days at %.1f measurements/day...\n", *pumps, *days, *perDay)
 	ds, err := dataset.Generate(cfg)

@@ -64,10 +64,11 @@ type Engine struct {
 	models     *LifetimeModels
 
 	// trendCache memoizes CleanTrend per pump; an entry is valid while
-	// the pump's record count is unchanged and the same baseline is in
-	// force. The repeated-experiment pattern (Table IV, headline,
-	// ablations over the same corpus) otherwise recomputes identical
-	// 100k-measurement scans. trendMu guards the map: fleet-wide passes
+	// the pump's series generation is unchanged and the same baseline is
+	// in force, so a hit never touches the record slices at all. The
+	// repeated-experiment pattern (Table IV, headline, ablations over
+	// the same corpus) otherwise recomputes identical 100k-measurement
+	// scans. trendMu guards the map: fleet-wide passes
 	// (LearnLifetimeModels, AnalyzeAll) run CleanTrend for distinct
 	// pumps concurrently.
 	trendMu    sync.Mutex
@@ -75,9 +76,9 @@ type Engine struct {
 }
 
 type trendCacheEntry struct {
-	recordCount int
-	baseline    *Baseline
-	trend       []TrendPoint
+	gen      uint64
+	baseline *Baseline
+	trend    []TrendPoint
 }
 
 // New builds an engine with fresh stores.
@@ -107,12 +108,11 @@ func (e *Engine) Measurements() *Measurements { return e.measurements }
 // Labels exposes the engine's label store.
 func (e *Engine) Labels() *Labels { return e.labels }
 
-// Ingest adds one measurement.
+// Ingest adds one measurement. Trend-cache invalidation is implicit:
+// the store bumps the pump's series generation, which the cache keys
+// on.
 func (e *Engine) Ingest(rec *Record) {
 	e.measurements.Add(rec)
-	e.trendMu.Lock()
-	delete(e.trendCache, rec.PumpID)
-	e.trendMu.Unlock()
 }
 
 // AddLabel adds one expert label.
@@ -271,17 +271,19 @@ func (e *Engine) CleanTrend(pumpID int, ageOf AgeFunc) ([]TrendPoint, error) {
 	if e.baseline == nil {
 		return nil, ErrNotFitted
 	}
-	recs := e.measurements.All(pumpID)
-	if len(recs) == 0 {
+	// The cached D_a series is age-agnostic only when ageOf is pure; it
+	// is keyed on the series generation and baseline, and ages are
+	// reapplied below. Cache the (day, Da) pairs instead of the final
+	// points. Reading the generation before the records keeps a stale
+	// tag conservative: a racing append only forces one extra rebuild.
+	gen := e.measurements.Generation(pumpID)
+	if gen == 0 {
 		return nil, fmt.Errorf("%w: pump %d has no measurements", ErrNoData, pumpID)
 	}
-	// The cached D_a series is age-agnostic only when ageOf is pure; it
-	// is keyed on the record count and baseline, and ages are reapplied
-	// below. Cache the (day, Da) pairs instead of the final points.
 	e.trendMu.Lock()
 	entry, ok := e.trendCache[pumpID]
 	e.trendMu.Unlock()
-	if ok && entry.recordCount == len(recs) && entry.baseline == e.baseline {
+	if ok && entry.gen == gen && entry.baseline == e.baseline {
 		metTrendCacheHits.Inc()
 		out := make([]TrendPoint, len(entry.trend))
 		copy(out, entry.trend)
@@ -291,6 +293,10 @@ func (e *Engine) CleanTrend(pumpID int, ageOf AgeFunc) ([]TrendPoint, error) {
 		return out, nil
 	}
 	metTrendCacheMisses.Inc()
+	recs := e.measurements.All(pumpID)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%w: pump %d has no measurements", ErrNoData, pumpID)
+	}
 	start := time.Now()
 	defer func() { metAnalyzeTrend.Observe(time.Since(start).Seconds()) }()
 	validIdx, _, err := preprocess.DetectOutliers(recs, preprocess.OutlierConfig{Bandwidth: e.opts.OutlierBandwidth})
@@ -333,7 +339,7 @@ func (e *Engine) CleanTrend(pumpID int, ageOf AgeFunc) ([]TrendPoint, error) {
 	if e.trendCache == nil {
 		e.trendCache = map[int]trendCacheEntry{}
 	}
-	e.trendCache[pumpID] = trendCacheEntry{recordCount: len(recs), baseline: e.baseline, trend: cached}
+	e.trendCache[pumpID] = trendCacheEntry{gen: gen, baseline: e.baseline, trend: cached}
 	e.trendMu.Unlock()
 	out := make([]TrendPoint, len(days))
 	for i := range days {

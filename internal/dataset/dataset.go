@@ -53,6 +53,11 @@ type Config struct {
 	// labels come from physical inspection of clearly distinguishable
 	// conditions, not from borderline cases. Negative disables.
 	LabelMargin float64
+	// Workers caps the capture fan-out of trend and label generation
+	// (0 = one worker per CPU). The output is byte-identical at any
+	// worker count: every random decision is drawn sequentially and
+	// captures are deterministic in (pump, day).
+	Workers int
 }
 
 // Event is one maintenance action during the window.
@@ -300,7 +305,7 @@ func (d *Dataset) generateTrend() error {
 	total := cfg.Pumps * perPump
 	// Capture is deterministic in (pump, day), so the fan-out changes
 	// nothing but wall-clock time.
-	recs := par.Map(total, 0, func(i int) *store.Record {
+	recs := par.Map(total, cfg.Workers, func(i int) *store.Record {
 		id := i / perPump
 		day := float64(i%perPump) * step
 		if day >= cfg.DurationDays {
@@ -316,12 +321,26 @@ func (d *Dataset) generateTrend() error {
 	return nil
 }
 
+// labelPick is one accepted rejection-sampling draw: everything the
+// label needs except the (expensive) capture itself.
+type labelPick struct {
+	id    int
+	day   float64
+	zone  physics.MergedZone
+	valid bool
+}
+
 // generateLabels fills the per-zone quotas by rejection sampling over
 // (pump, time) pairs whose ground-truth zone matches, then flags a
-// small fraction as invalid human mistakes.
+// small fraction as invalid human mistakes. The random decisions are
+// drawn sequentially — the RNG stream is identical to a fully
+// sequential run — and only the captures (deterministic in (pump,
+// day), and the dominant cost at the paper's 1024-sample size) fan
+// out, so the output is byte-identical at any worker count.
 func (d *Dataset) generateLabels() error {
 	cfg := d.Config
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x1abe1))
+	var picks []labelPick
 	for _, zone := range physics.MergedZones {
 		want := cfg.LabelCounts[zone]
 		if want == 0 {
@@ -350,22 +369,28 @@ func (d *Dataset) generateLabels() error {
 			if !confident || z != zone {
 				continue
 			}
-			rec := d.Capture(id, day)
 			valid := rng.Float64() >= cfg.InvalidLabelFraction
-			d.LabelledRecords = append(d.LabelledRecords, LabelledRecord{Record: rec, Zone: zone, Valid: valid})
-			if err := d.Labels.Add(store.Label{
-				PumpID:      id,
-				ServiceDays: day,
-				Zone:        zone,
-				Source:      store.DataDriven,
-				Valid:       valid,
-			}); err != nil {
-				return err
-			}
+			picks = append(picks, labelPick{id: id, day: day, zone: zone, valid: valid})
 			got++
 		}
 		if got < want {
 			return fmt.Errorf("dataset: only %d/%d labels for %v after %d attempts", got, want, zone, attempts)
+		}
+	}
+	recs := par.Map(len(picks), cfg.Workers, func(i int) *store.Record {
+		return d.Capture(picks[i].id, picks[i].day)
+	})
+	// Append in draw order, exactly as the sequential loop did.
+	for i, p := range picks {
+		d.LabelledRecords = append(d.LabelledRecords, LabelledRecord{Record: recs[i], Zone: p.zone, Valid: p.valid})
+		if err := d.Labels.Add(store.Label{
+			PumpID:      p.id,
+			ServiceDays: p.day,
+			Zone:        p.zone,
+			Source:      store.DataDriven,
+			Valid:       p.valid,
+		}); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
 	"vibepm/internal/physics"
@@ -114,6 +116,53 @@ func TestGenerateDeterministic(t *testing.T) {
 		}
 		if ra.Raw[0][0] != rb.Raw[0][0] {
 			t.Fatal("raw samples differ across runs")
+		}
+	}
+}
+
+// serializeDataset flattens everything seed-dependent in a dataset —
+// every stored measurement (raw samples included) and every label —
+// into one byte blob for exact comparison.
+func serializeDataset(t *testing.T, ds *Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.Measurements.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range ds.LabelledRecords {
+		fmt.Fprintf(&buf, "L %d %v %v %t", lr.Record.PumpID, lr.Record.ServiceDays, lr.Zone, lr.Valid)
+		for axis := 0; axis < 3; axis++ {
+			for _, s := range lr.Record.Raw[axis] {
+				fmt.Fprintf(&buf, " %d", s)
+			}
+		}
+		buf.WriteByte('\n')
+	}
+	for _, l := range ds.Labels.Valid() {
+		fmt.Fprintf(&buf, "S %d %v %v %t\n", l.PumpID, l.ServiceDays, l.Zone, l.Valid)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateWorkersByteIdentical pins the parallel-generation
+// contract: any worker count produces exactly the same corpus, raw
+// samples and all.
+func TestGenerateWorkersByteIdentical(t *testing.T) {
+	cfg := smallConfig(11)
+	cfg.Workers = 1
+	seq, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serializeDataset(t, seq)
+	for _, workers := range []int{0, 3, 8} {
+		cfg.Workers = workers
+		par, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := serializeDataset(t, par); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d produced a different corpus (%d vs %d bytes)", workers, len(got), len(want))
 		}
 	}
 }

@@ -599,12 +599,22 @@ func recordFromMeasurement(pumpID int, m *mems.Measurement) *store.Record {
 	return rec
 }
 
+// payloadBufPool recycles the encode scratch buffer across transfers:
+// the returned payload is one exact-size copy instead of the growth
+// garbage a fresh bytes.Buffer leaves behind per record.
+var payloadBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func encodePayload(rec *store.Record) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := store.EncodeRecord(&buf, rec); err != nil {
+	buf := payloadBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := store.EncodeRecord(buf, rec); err != nil {
+		payloadBufPool.Put(buf)
 		return nil, fmt.Errorf("gateway: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	payloadBufPool.Put(buf)
+	return out, nil
 }
 
 func decodePayload(payload []byte) (*store.Record, error) {

@@ -1,0 +1,181 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// The waveform synthesizer is the dominant cost of corpus generation:
+// every measurement sums ~12–26 tones over k samples, and the naive
+// form pays one math.Sin per sample per tone. synthTone replaces that
+// with a phase-recurrence complex oscillator — one Sincos per tone to
+// seed the rotation, then one complex multiply per sample:
+//
+//	z_i = cis(w·i + phase),  z_{i+1} = z_i · cis(w),  sin = Im(z_i)
+//
+// Rounding drift of the recurrence grows like sqrt(n)·ulp, so the
+// rotor is renormalized back onto the unit circle every renormEvery
+// samples, keeping the output within ~1e-13 of math.Sin for any
+// realistic capture length (the equivalence test pins 1e-9).
+const renormEvery = 256
+
+// synthTone adds amp·sin(w·i + phase) for i in [0, len(buf)) to buf.
+func synthTone(buf []float64, amp, w, phase float64) {
+	sw, cw := math.Sincos(w)
+	s, c := math.Sincos(phase)
+	j := 0
+	for i := range buf {
+		buf[i] += amp * s
+		s, c = s*cw+c*sw, c*cw-s*sw
+		j++
+		if j == renormEvery {
+			j = 0
+			inv := 1 / math.Sqrt(s*s+c*c)
+			s *= inv
+			c *= inv
+		}
+	}
+}
+
+// synthScratch bundles the reusable state one AccelerationInto call
+// needs: the tone recipe slices and a reseedable RNG. Pooled so the
+// steady-state synthesis path allocates nothing.
+type synthScratch struct {
+	spec VibrationSpec
+	rng  *rand.Rand
+}
+
+var synthPool = sync.Pool{
+	New: func() any {
+		return &synthScratch{rng: rand.New(rand.NewSource(1))}
+	},
+}
+
+// reseedMeasurement re-derives the deterministic per-measurement RNG
+// state in place — the zero-alloc twin of measurementRNG, producing an
+// identical stream.
+func (p *Pump) reseedMeasurement(rng *rand.Rand, serviceDays float64, salt int64) {
+	bits := int64(math.Float64bits(serviceDays))
+	rng.Seed(p.cfg.Seed*0x9e3779b9 + bits ^ salt)
+}
+
+// AccelerationInto synthesizes one measurement into caller-provided
+// buffers, one per axis, all of the same length k. It is the zero-alloc
+// variant of Acceleration and produces bit-identical output. The z
+// buffer carries the 1 g gravity bias.
+func (p *Pump) AccelerationInto(ax, ay, az []float64, serviceDays, fs float64) {
+	sc := synthPool.Get().(*synthScratch)
+	defer synthPool.Put(sc)
+	p.specInto(&sc.spec, serviceDays, sc.rng)
+	p.reseedMeasurement(sc.rng, serviceDays, 0xacce1)
+	out := [3][]float64{ax, ay, az}
+	for axis := 0; axis < 3; axis++ {
+		buf := out[axis]
+		for i := range buf {
+			buf[i] = 0
+		}
+		for _, tone := range sc.spec.Tones[axis] {
+			// Tones above Nyquist are not representable; the real
+			// sensor's anti-aliasing behaviour is approximated by
+			// dropping them.
+			if tone.Freq >= fs/2 {
+				continue
+			}
+			w := 2 * math.Pi * tone.Freq / fs
+			synthTone(buf, tone.Amp, w, tone.Phase)
+		}
+		noise := sc.spec.NoiseStd[axis]
+		gain := sc.spec.Gain
+		for i := range buf {
+			// The broadband mechanical noise rides the same load
+			// fluctuation as the tonal content: both are produced by
+			// the rotating assembly, so the whole spectrum scales
+			// together (sensor noise, added in the mems layer, does
+			// not).
+			buf[i] = gain * (buf[i] + noise*sc.rng.NormFloat64())
+		}
+	}
+	// Gravity on the axial (z) axis.
+	for i := range az {
+		az[i] += 1.0
+	}
+}
+
+// specInto builds the ground-truth spectral recipe for a measurement at
+// the given service time into out, reusing its tone slices. rng is
+// reseeded to the measurement's spec stream, so the recipe is identical
+// to the one spec() returns.
+func (p *Pump) specInto(out *VibrationSpec, serviceDays float64, rng *rand.Rand) {
+	d := p.DegradationAt(serviceDays)
+	p.reseedMeasurement(rng, serviceDays, 0x7a11)
+
+	const harmonics = 12
+	base := 0.035 // g at the fundamental for a healthy pump
+	for axis := 0; axis < 3; axis++ {
+		g := axisGains[axis]
+		tones := out.Tones[axis][:0]
+		for h := 1; h <= harmonics; h++ {
+			// Healthy rolloff h^-0.8; wear amplifies high harmonics
+			// quadratically in their order.
+			amp := base * math.Pow(float64(h), -0.8)
+			hiBoost := 1 + 3.5*d*math.Pow(float64(h)/harmonics, 2)
+			amp *= hiBoost * g
+			tones = append(tones, Tone{
+				Freq:  p.rotorHz * float64(h),
+				Amp:   amp,
+				Phase: 2 * math.Pi * rng.Float64(),
+			})
+		}
+		// Bearing-defect tones at non-integer multiples emerge one after
+		// another through Zone B/C (outer race, inner race, rolling
+		// element, cage-modulated), each growing linearly once its
+		// defect develops. Staggered onsets make the harmonic-peak
+		// distance grow quasi-linearly with wear — the linearity the
+		// paper's lifetime models rely on — while the zone clusters stay
+		// distinct.
+		for k, mult := range defectMultiples {
+			defect := d - (0.12 + 0.13*float64(k))
+			if defect <= 0 {
+				continue
+			}
+			amp := base * clampAmp(4.0*defect) * g
+			tones = append(tones, Tone{
+				Freq:  p.rotorHz * mult,
+				Amp:   amp,
+				Phase: 2 * math.Pi * rng.Float64(),
+			})
+		}
+		// Half-order subharmonics — the classic rotating-machinery
+		// signature of severe looseness/rub — stream in as the unit
+		// approaches and passes the Zone D boundary.
+		for k, mult := range subharmonicMultiples {
+			severe := d - (0.62 + 0.03*float64(k))
+			if severe <= 0 {
+				continue
+			}
+			amp := base * clampAmp(6.0*severe) * g
+			tones = append(tones, Tone{
+				Freq:  p.rotorHz * mult,
+				Amp:   amp,
+				Phase: 2 * math.Pi * rng.Float64(),
+			})
+		}
+		out.Tones[axis] = tones
+		// Broadband mechanical noise grows with wear.
+		out.NoiseStd[axis] = 0.004 * (1 + 2.5*d) * g
+	}
+	// Multiplicative fluctuation: negligible when healthy, large when
+	// worn (the paper: "from zone BC to zone D the variance of PSD at
+	// each frequency increases proportionally").
+	sigma := 0.03 + 0.40*d
+	out.Gain = math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+	if out.Gain < 0.2 {
+		out.Gain = 0.2
+	}
+}
+
+var (
+	defectMultiples      = []float64{3.57, 5.43, 7.81, 9.62}
+	subharmonicMultiples = []float64{0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5}
+)

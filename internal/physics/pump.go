@@ -234,73 +234,8 @@ var axisGains = [3]float64{1.0, 0.85, 0.6}
 // spec builds the ground-truth spectral recipe for a measurement at the
 // given service time.
 func (p *Pump) spec(serviceDays float64) VibrationSpec {
-	d := p.DegradationAt(serviceDays)
-	rng := p.measurementRNG(serviceDays, 0x7a11)
 	var out VibrationSpec
-
-	const harmonics = 12
-	base := 0.035 // g at the fundamental for a healthy pump
-	for axis := 0; axis < 3; axis++ {
-		g := axisGains[axis]
-		tones := make([]Tone, 0, harmonics+3)
-		for h := 1; h <= harmonics; h++ {
-			// Healthy rolloff h^-0.8; wear amplifies high harmonics
-			// quadratically in their order.
-			amp := base * math.Pow(float64(h), -0.8)
-			hiBoost := 1 + 3.5*d*math.Pow(float64(h)/harmonics, 2)
-			amp *= hiBoost * g
-			tones = append(tones, Tone{
-				Freq:  p.rotorHz * float64(h),
-				Amp:   amp,
-				Phase: 2 * math.Pi * rng.Float64(),
-			})
-		}
-		// Bearing-defect tones at non-integer multiples emerge one after
-		// another through Zone B/C (outer race, inner race, rolling
-		// element, cage-modulated), each growing linearly once its
-		// defect develops. Staggered onsets make the harmonic-peak
-		// distance grow quasi-linearly with wear — the linearity the
-		// paper's lifetime models rely on — while the zone clusters stay
-		// distinct.
-		for k, mult := range []float64{3.57, 5.43, 7.81, 9.62} {
-			defect := d - (0.12 + 0.13*float64(k))
-			if defect <= 0 {
-				continue
-			}
-			amp := base * clampAmp(4.0*defect) * g
-			tones = append(tones, Tone{
-				Freq:  p.rotorHz * mult,
-				Amp:   amp,
-				Phase: 2 * math.Pi * rng.Float64(),
-			})
-		}
-		// Half-order subharmonics — the classic rotating-machinery
-		// signature of severe looseness/rub — stream in as the unit
-		// approaches and passes the Zone D boundary.
-		for k, mult := range []float64{0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5} {
-			severe := d - (0.62 + 0.03*float64(k))
-			if severe <= 0 {
-				continue
-			}
-			amp := base * clampAmp(6.0*severe) * g
-			tones = append(tones, Tone{
-				Freq:  p.rotorHz * mult,
-				Amp:   amp,
-				Phase: 2 * math.Pi * rng.Float64(),
-			})
-		}
-		out.Tones[axis] = tones
-		// Broadband mechanical noise grows with wear.
-		out.NoiseStd[axis] = 0.004 * (1 + 2.5*d) * g
-	}
-	// Multiplicative fluctuation: negligible when healthy, large when
-	// worn (the paper: "from zone BC to zone D the variance of PSD at
-	// each frequency increases proportionally").
-	sigma := 0.03 + 0.40*d
-	out.Gain = math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
-	if out.Gain < 0.2 {
-		out.Gain = 0.2
-	}
+	p.specInto(&out, serviceDays, p.measurementRNG(serviceDays, 0))
 	return out
 }
 
@@ -310,42 +245,11 @@ func (p *Pump) spec(serviceDays float64) VibrationSpec {
 // analysis pipeline must normalize away. The result is deterministic in
 // (pump seed, serviceDays, fs, k).
 func (p *Pump) Acceleration(serviceDays, fs float64, k int) (ax, ay, az []float64) {
-	spec := p.spec(serviceDays)
-	rng := p.measurementRNG(serviceDays, 0xacce1)
-	out := [3][]float64{
-		make([]float64, k),
-		make([]float64, k),
-		make([]float64, k),
-	}
-	for axis := 0; axis < 3; axis++ {
-		buf := out[axis]
-		for _, tone := range spec.Tones[axis] {
-			// Tones above Nyquist are not representable; the real
-			// sensor's anti-aliasing behaviour is approximated by
-			// dropping them.
-			if tone.Freq >= fs/2 {
-				continue
-			}
-			w := 2 * math.Pi * tone.Freq / fs
-			for i := 0; i < k; i++ {
-				buf[i] += tone.Amp * math.Sin(w*float64(i)+tone.Phase)
-			}
-		}
-		noise := spec.NoiseStd[axis]
-		for i := 0; i < k; i++ {
-			// The broadband mechanical noise rides the same load
-			// fluctuation as the tonal content: both are produced by
-			// the rotating assembly, so the whole spectrum scales
-			// together (sensor noise, added in the mems layer, does
-			// not).
-			buf[i] = spec.Gain * (buf[i] + noise*rng.NormFloat64())
-		}
-	}
-	// Gravity on the axial (z) axis.
-	for i := 0; i < k; i++ {
-		out[2][i] += 1.0
-	}
-	return out[0], out[1], out[2]
+	ax = make([]float64, k)
+	ay = make([]float64, k)
+	az = make([]float64, k)
+	p.AccelerationInto(ax, ay, az, serviceDays, fs)
+	return ax, ay, az
 }
 
 // TemperatureAt returns the FICS temperature reading (°C) for the pump

@@ -1,6 +1,8 @@
 package restapi
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 
@@ -18,6 +20,13 @@ type Analysis struct {
 	// Lifetime-model learning is expensive; do it at most once, lazily.
 	learnOnce sync.Once
 	learnErr  error
+
+	// fleetMu single-flights fleet report builds; the cached serialized
+	// response is valid while no series in the store has mutated
+	// (GenerationTotal) and model readiness is unchanged.
+	fleetMu    sync.Mutex
+	fleetResp  *cachedResp
+	fleetReady bool
 }
 
 // AnalysisOption customizes an Analysis handler.
@@ -122,15 +131,39 @@ func (a *Analysis) handleRUL(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (a *Analysis) handleFleet(w http.ResponseWriter, _ *http.Request) {
+// handleFleet serves the whole-fleet report. The serialized response is
+// cached and keyed on the store-wide generation counter plus model
+// readiness, so a dashboard polling the fleet view costs one map
+// lookup (or a 304) between ingests. fleetMu single-flights rebuilds —
+// concurrent pollers after an append trigger one FleetReport, not N.
+func (a *Analysis) handleFleet(w http.ResponseWriter, r *http.Request) {
+	ready := a.ensureModels() == nil
 	var age vibepm.AgeFunc
-	if a.ensureModels() == nil {
+	if ready {
 		age = a.ageOf
+	}
+	gen := a.eng.Measurements().GenerationTotal()
+	a.fleetMu.Lock()
+	defer a.fleetMu.Unlock()
+	if ent := a.fleetResp; ent != nil && ent.gen == gen && a.fleetReady == ready {
+		serveCached(w, r, ent)
+		return
 	}
 	reports, err := a.eng.FleetReport(age)
 	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"fleet": reports})
+	body, err := json.Marshal(map[string]any{"fleet": reports})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode fleet: %v", err)
+		return
+	}
+	ent := &cachedResp{
+		gen:  gen,
+		etag: fmt.Sprintf("\"fleet-%d-%t\"", gen, ready),
+		body: body,
+	}
+	a.fleetResp, a.fleetReady = ent, ready
+	serveCached(w, r, ent)
 }

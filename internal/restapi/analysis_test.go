@@ -128,6 +128,45 @@ func TestAnalysisFleet(t *testing.T) {
 	}
 }
 
+// TestAnalysisFleetConditionalRequests pins the fleet response cache:
+// identical bodies and a 304 revalidation while the store is unchanged,
+// then a fresh tag and body after any ingest moves GenerationTotal.
+func TestAnalysisFleetConditionalRequests(t *testing.T) {
+	eng, age := fittedEngine(t)
+	a := NewAnalysis(eng, age)
+	first := getTrend(t, a, "/api/v1/analysis/fleet", "")
+	if first.Code != http.StatusOK {
+		t.Fatalf("fleet status %d", first.Code)
+	}
+	etag := first.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("fleet response must carry an ETag")
+	}
+	if rec := getTrend(t, a, "/api/v1/analysis/fleet", etag); rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+		t.Fatalf("revalidation: status %d body %d bytes, want bodyless 304", rec.Code, rec.Body.Len())
+	}
+	if rec := getTrend(t, a, "/api/v1/analysis/fleet", ""); rec.Body.String() != first.Body.String() {
+		t.Fatal("unchanged store must serve an identical cached body")
+	}
+
+	// Any ingest moves the store-wide generation; the old tag must miss.
+	latest := eng.Measurements().Latest(0)
+	eng.Ingest(&vibepm.Record{
+		PumpID:       0,
+		ServiceDays:  latest.ServiceDays + 1,
+		SampleRateHz: latest.SampleRateHz,
+		ScaleG:       latest.ScaleG,
+		Raw:          latest.Raw,
+	})
+	after := getTrend(t, a, "/api/v1/analysis/fleet", etag)
+	if after.Code != http.StatusOK {
+		t.Fatalf("post-ingest status %d, want 200", after.Code)
+	}
+	if newTag := after.Header().Get("ETag"); newTag == "" || newTag == etag {
+		t.Fatalf("post-ingest ETag = %q, must differ from %q", newTag, etag)
+	}
+}
+
 func TestAnalysisUnfittedEngine(t *testing.T) {
 	eng := vibepm.New(vibepm.Options{})
 	a := NewAnalysis(eng, nil)

@@ -5,11 +5,14 @@
 package restapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"vibepm/internal/obs"
 	"vibepm/internal/store"
@@ -31,9 +34,18 @@ type Server struct {
 	metrics      *obs.Registry
 	maxBodyBytes int64
 
+	// pyramids caches the per-series downsample pyramid; respCache
+	// holds fully serialized trend responses, both keyed on the series
+	// generation so an append invalidates exactly the touched pump.
+	pyramids  *store.TrendCache
+	respMu    sync.Mutex
+	respCache map[respKey]*cachedResp
+
 	ingestAccepted   *obs.Counter
 	ingestDuplicates *obs.Counter
 	ingestRejected   *obs.Counter
+	trendCacheHits   *obs.Counter
+	trendCacheMisses *obs.Counter
 }
 
 // Option customizes a Server.
@@ -63,6 +75,8 @@ func New(m *store.Measurements, l *store.Labels, p *store.PeriodManager, opts ..
 		mux:          http.NewServeMux(),
 		metrics:      obs.Default,
 		maxBodyBytes: DefaultMaxBodyBytes,
+		pyramids:     store.NewTrendCache(),
+		respCache:    make(map[respKey]*cachedResp),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -70,8 +84,11 @@ func New(m *store.Measurements, l *store.Labels, p *store.PeriodManager, opts ..
 	s.ingestAccepted = s.metrics.Counter("vibepm_ingest_accepted_total")
 	s.ingestDuplicates = s.metrics.Counter("vibepm_ingest_duplicates_total")
 	s.ingestRejected = s.metrics.Counter("vibepm_ingest_rejected_total")
+	s.trendCacheHits = s.metrics.Counter("vibepm_api_trend_cache_hits_total")
+	s.trendCacheMisses = s.metrics.Counter("vibepm_api_trend_cache_misses_total")
 	s.handle("GET /api/v1/pumps", s.handlePumps)
 	s.handle("GET /api/v1/pumps/{id}/measurements", s.handleMeasurements)
+	s.handle("GET /api/v1/pumps/{id}/trend", s.handleTrend)
 	s.handle("POST /api/v1/measurements", s.handleIngest)
 	s.handle("GET /api/v1/pumps/{id}/psd", s.handlePSD)
 	s.handle("GET /api/v1/labels", s.handleLabels)
@@ -95,10 +112,37 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// jsonBufPool recycles response encode buffers across requests.
+// Buffers that grew past maxPooledBufBytes (a raw-samples response can
+// reach megabytes) are dropped instead of pinned in the pool.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBufBytes = 1 << 20
+
+// writeJSON encodes v into a pooled buffer before committing any
+// status line, so an encoding failure becomes a clean 500 instead of a
+// 200 with a truncated body, and successful responses carry an exact
+// Content-Length.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		obs.DefaultLogger.Error("api response encode failed", "err", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = io.WriteString(w, "{\"error\":\"response encoding failed\"}\n")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		obs.DefaultLogger.Warn("api response write failed", "err", err)
+	}
+	if buf.Cap() <= maxPooledBufBytes {
+		jsonBufPool.Put(buf)
+	}
 }
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {

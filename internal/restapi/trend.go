@@ -1,0 +1,174 @@
+package restapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"vibepm/internal/store"
+	"vibepm/internal/transform"
+)
+
+// Trend point budgets. The default fits a dashboard panel; the cap
+// bounds the response cache's footprint per (pump, metric).
+const (
+	defaultTrendPoints = 512
+	maxTrendPoints     = 4096
+)
+
+// trendMetricFor maps the metric query parameter to the scalar
+// extracted from each record.
+func trendMetricFor(name string) (func(*store.Record) float64, bool) {
+	switch name {
+	case "rms":
+		return transform.RMS, true
+	case "vrms":
+		// ISO 10816-style velocity severity band.
+		return func(r *store.Record) float64 { return transform.VelocityRMS(r, 10, 1000) }, true
+	}
+	return nil, false
+}
+
+// respKey identifies one serialized trend response: pump, metric, and
+// point budget.
+type respKey struct {
+	pumpID int
+	metric string
+	points int
+}
+
+// cachedResp is a fully serialized response plus the series generation
+// it reflects and the strong ETag clients revalidate against.
+type cachedResp struct {
+	gen  uint64
+	etag string
+	body []byte
+}
+
+// TrendPointJSON is one downsampled trend sample on the wire.
+type TrendPointJSON struct {
+	ServiceDays float64 `json:"service_days"`
+	Value       float64 `json:"value"`
+}
+
+// TrendResponse is the trend endpoint's payload: the min-max
+// downsampled metric series plus the full-resolution point count.
+type TrendResponse struct {
+	PumpID      int              `json:"pump_id"`
+	Metric      string           `json:"metric"`
+	TotalPoints int              `json:"total_points"`
+	Points      []TrendPointJSON `json:"points"`
+}
+
+// etagMatch reports whether an If-None-Match header value matches etag.
+// Handles the "*" wildcard, comma-separated candidate lists, and weak
+// validators (W/ prefix — weak comparison suffices for a 304).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// serveCached writes a cached serialized response, answering
+// If-None-Match revalidations with 304 and no body.
+func serveCached(w http.ResponseWriter, r *http.Request, ent *cachedResp) {
+	w.Header().Set("ETag", ent.etag)
+	if etagMatch(r.Header.Get("If-None-Match"), ent.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(ent.body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(ent.body)
+}
+
+// handleTrend serves GET /api/v1/pumps/{id}/trend?metric=rms&points=N:
+// the pump's metric trend, min-max downsampled to at most N points via
+// the cached pyramid. Responses are serialized once per series
+// generation; repeat requests are a map lookup plus one Write, and
+// conditional requests with a current ETag cost no body at all.
+func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
+	id, err := pumpID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad pump id")
+		return
+	}
+	metric := r.URL.Query().Get("metric")
+	if metric == "" {
+		metric = "rms"
+	}
+	fn, ok := trendMetricFor(metric)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "unknown metric %q (want rms or vrms)", metric)
+		return
+	}
+	points := defaultTrendPoints
+	if v := r.URL.Query().Get("points"); v != "" {
+		points, err = strconv.Atoi(v)
+		if err != nil || points < 1 {
+			writeErr(w, http.StatusBadRequest, "bad points %q", v)
+			return
+		}
+		if points > maxTrendPoints {
+			points = maxTrendPoints
+		}
+	}
+	gen := s.measurements.Generation(id)
+	if gen == 0 {
+		writeErr(w, http.StatusNotFound, "no measurements for pump %d", id)
+		return
+	}
+	key := respKey{pumpID: id, metric: metric, points: points}
+	s.respMu.Lock()
+	ent := s.respCache[key]
+	s.respMu.Unlock()
+	if ent != nil && ent.gen == gen {
+		s.trendCacheHits.Inc()
+		serveCached(w, r, ent)
+		return
+	}
+	s.trendCacheMisses.Inc()
+	// The pyramid cache reads the generation itself (before the
+	// records), so pgen is the generation the response truly reflects —
+	// it may lag gen by an in-flight append, which only means one extra
+	// rebuild on the next request.
+	pyr, pgen := s.pyramids.Pyramid(s.measurements, id, metric, fn)
+	down := pyr.Downsample(points)
+	resp := TrendResponse{
+		PumpID:      id,
+		Metric:      metric,
+		TotalPoints: pyr.Len(),
+		Points:      make([]TrendPointJSON, len(down)),
+	}
+	for i, p := range down {
+		resp.Points[i] = TrendPointJSON{ServiceDays: p.ServiceDays, Value: p.Value}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode trend: %v", err)
+		return
+	}
+	ent = &cachedResp{
+		gen:  pgen,
+		etag: fmt.Sprintf("\"trend-%d-%s-%d-%d\"", id, metric, points, pgen),
+		body: body,
+	}
+	s.respMu.Lock()
+	s.respCache[key] = ent
+	s.respMu.Unlock()
+	serveCached(w, r, ent)
+}

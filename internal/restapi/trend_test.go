@@ -1,0 +1,171 @@
+package restapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vibepm/internal/store"
+	"vibepm/internal/transform"
+)
+
+func getTrend(t *testing.T, s http.Handler, path, ifNoneMatch string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestTrendEndpoint checks the payload shape and that the downsampled
+// values match the direct extraction of the stored records.
+func TestTrendEndpoint(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	rec := getTrend(t, s, "/api/v1/pumps/3/trend?metric=rms", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("ETag") == "" {
+		t.Fatal("trend response must carry an ETag")
+	}
+	var resp TrendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PumpID != 3 || resp.Metric != "rms" {
+		t.Fatalf("resp header = %+v", resp)
+	}
+	if resp.TotalPoints != 5 || len(resp.Points) != 5 {
+		t.Fatalf("points = %d/%d, want 5/5", len(resp.Points), resp.TotalPoints)
+	}
+	recs := s.measurements.All(3)
+	for i, p := range resp.Points {
+		if p.ServiceDays != recs[i].ServiceDays {
+			t.Fatalf("point %d day = %g, want %g", i, p.ServiceDays, recs[i].ServiceDays)
+		}
+		if want := transform.RMS(recs[i]); p.Value != want {
+			t.Fatalf("point %d value = %g, want %g", i, p.Value, want)
+		}
+	}
+}
+
+// TestTrendConditionalRequests pins the ETag lifecycle: a revalidation
+// with the current tag is a bodyless 304; an append moves the series
+// generation, so the same tag then misses and a fresh body arrives
+// under a new tag.
+func TestTrendConditionalRequests(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	first := getTrend(t, s, "/api/v1/pumps/3/trend", "")
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d", first.Code)
+	}
+	etag := first.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("missing ETag")
+	}
+
+	cond := getTrend(t, s, "/api/v1/pumps/3/trend", etag)
+	if cond.Code != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", cond.Code)
+	}
+	if cond.Body.Len() != 0 {
+		t.Fatalf("304 must carry no body, got %d bytes", cond.Body.Len())
+	}
+	if cond.Header().Get("ETag") != etag {
+		t.Fatal("304 must echo the current ETag")
+	}
+
+	// Weak-validator and list forms of If-None-Match must also match.
+	if rec := getTrend(t, s, "/api/v1/pumps/3/trend", "W/"+etag); rec.Code != http.StatusNotModified {
+		t.Fatalf("weak validator status = %d, want 304", rec.Code)
+	}
+	if rec := getTrend(t, s, "/api/v1/pumps/3/trend", `"other", `+etag); rec.Code != http.StatusNotModified {
+		t.Fatalf("list validator status = %d, want 304", rec.Code)
+	}
+
+	// An unchanged series must serve the cached serialized body.
+	again := getTrend(t, s, "/api/v1/pumps/3/trend", "")
+	if again.Code != http.StatusOK || again.Header().Get("ETag") != etag {
+		t.Fatalf("repeat request: status %d etag %q", again.Code, again.Header().Get("ETag"))
+	}
+	if again.Body.String() != first.Body.String() {
+		t.Fatal("unchanged series must serve an identical body")
+	}
+
+	// Append → generation moves → old tag misses, new body + new tag.
+	s.measurements.Add(&store.Record{
+		PumpID:       3,
+		ServiceDays:  99,
+		SampleRateHz: 4000,
+		ScaleG:       0.003,
+		Raw:          [3][]int16{{5, 6}, {5, 6}, {5, 6}},
+	})
+	after := getTrend(t, s, "/api/v1/pumps/3/trend", etag)
+	if after.Code != http.StatusOK {
+		t.Fatalf("post-append status = %d, want 200", after.Code)
+	}
+	newTag := after.Header().Get("ETag")
+	if newTag == "" || newTag == etag {
+		t.Fatalf("post-append ETag = %q, must differ from %q", newTag, etag)
+	}
+	var resp TrendResponse
+	if err := json.Unmarshal(after.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalPoints != 6 {
+		t.Fatalf("post-append total = %d, want 6", resp.TotalPoints)
+	}
+}
+
+// TestTrendValidation covers the endpoint's error paths.
+func TestTrendValidation(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/api/v1/pumps/3/trend?metric=nope", http.StatusBadRequest},
+		{"/api/v1/pumps/3/trend?points=0", http.StatusBadRequest},
+		{"/api/v1/pumps/3/trend?points=x", http.StatusBadRequest},
+		{"/api/v1/pumps/77/trend", http.StatusNotFound},
+		{"/api/v1/pumps/3/trend?metric=vrms", http.StatusOK},
+	} {
+		if rec := getTrend(t, s, tc.path, ""); rec.Code != tc.code {
+			t.Errorf("%s: status = %d, want %d", tc.path, rec.Code, tc.code)
+		}
+	}
+}
+
+// TestTrendDownsampleBudget checks the points parameter actually caps
+// the payload via the pyramid.
+func TestTrendDownsampleBudget(t *testing.T) {
+	m := store.NewMeasurements()
+	for i := 0; i < 200; i++ {
+		m.Add(&store.Record{
+			PumpID:       1,
+			ServiceDays:  float64(i),
+			SampleRateHz: 4000,
+			ScaleG:       0.003,
+			Raw:          [3][]int16{{int16(i % 50)}, {1}, {1}},
+		})
+	}
+	s := New(m, nil, nil)
+	rec := getTrend(t, s, "/api/v1/pumps/1/trend?points=16", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp TrendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalPoints != 200 {
+		t.Fatalf("total = %d, want 200", resp.TotalPoints)
+	}
+	if len(resp.Points) == 0 || len(resp.Points) > 16 {
+		t.Fatalf("downsampled to %d points, want 1..16", len(resp.Points))
+	}
+}

@@ -9,37 +9,104 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// shardBits selects the power-of-two shard count. 16 shards keep
+// write contention negligible for fleets far larger than the paper's
+// 12 pumps while costing four words of overhead per empty shard.
+const (
+	shardBits  = 4
+	shardCount = 1 << shardBits
+	shardMask  = shardCount - 1
+)
+
+// series is one pump's ordered record slice plus its generation — a
+// counter bumped on every mutation so read-side caches (downsample
+// pyramids, serialized HTTP responses) can invalidate precisely on
+// append instead of re-checking contents.
+type series struct {
+	recs []*Record
+	gen  uint64
+}
+
+// shard is one lock domain of the store: pumps are distributed across
+// shards by id, so ingestion for one pump never contends with reads or
+// writes of pumps in other shards.
+type shard struct {
+	mu     sync.RWMutex
+	byPump map[int]*series
+}
 
 // Measurements is the embedded time-series store for vibration records,
 // indexed by pump and ordered by service time. It is safe for
-// concurrent use.
+// concurrent use: the store is sharded by pump id with one RWMutex per
+// shard, and the aggregate counters are atomics, so Len and the
+// generation counters never serialize against writers in other shards.
 type Measurements struct {
-	mu     sync.RWMutex
-	byPump map[int][]*Record
-	count  int
+	shards [shardCount]shard
+	count  atomic.Int64
+	// genSeq issues store-wide unique generation values; totalGen is a
+	// cheap store-wide change counter for whole-fleet caches.
+	genSeq   atomic.Uint64
+	totalGen atomic.Uint64
 }
 
 // NewMeasurements returns an empty store.
 func NewMeasurements() *Measurements {
-	return &Measurements{byPump: make(map[int][]*Record)}
+	m := &Measurements{}
+	for i := range m.shards {
+		m.shards[i].byPump = make(map[int]*series)
+	}
+	return m
+}
+
+func (m *Measurements) shardFor(pumpID int) *shard {
+	return &m.shards[uint(pumpID)&shardMask]
+}
+
+// seriesLocked returns (creating if needed) the series of pumpID.
+// Caller holds the shard's write lock.
+func (sh *shard) seriesLocked(pumpID int) *series {
+	s := sh.byPump[pumpID]
+	if s == nil {
+		s = &series{}
+		sh.byPump[pumpID] = s
+	}
+	return s
+}
+
+// bump marks a mutation of s: the series generation takes the next
+// store-wide sequence value and the store-wide change counter advances.
+func (m *Measurements) bump(s *series) {
+	s.gen = m.genSeq.Add(1)
+	m.totalGen.Add(1)
 }
 
 // Add inserts a record, keeping the per-pump series ordered by service
 // time. The record is stored by reference; callers must not mutate it
 // afterwards.
 func (m *Measurements) Add(rec *Record) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	series := m.byPump[rec.PumpID]
-	i := sort.Search(len(series), func(i int) bool {
-		return series[i].ServiceDays > rec.ServiceDays
-	})
-	series = append(series, nil)
-	copy(series[i+1:], series[i:])
-	series[i] = rec
-	m.byPump[rec.PumpID] = series
-	m.count++
+	sh := m.shardFor(rec.PumpID)
+	sh.mu.Lock()
+	s := sh.seriesLocked(rec.PumpID)
+	recs := s.recs
+	if n := len(recs); n == 0 || recs[n-1].ServiceDays <= rec.ServiceDays {
+		// Ingestion is overwhelmingly time-ordered: append without the
+		// binary search.
+		s.recs = append(recs, rec)
+	} else {
+		i := sort.Search(len(recs), func(i int) bool {
+			return recs[i].ServiceDays > rec.ServiceDays
+		})
+		recs = append(recs, nil)
+		copy(recs[i+1:], recs[i:])
+		recs[i] = rec
+		s.recs = recs
+	}
+	m.bump(s)
+	sh.mu.Unlock()
+	m.count.Add(1)
 	metRecordsAdded.Inc()
 	metRecordBytes.Add(rawBytes(rec))
 }
@@ -50,40 +117,72 @@ func (m *Measurements) Add(rec *Record) {
 // measurement (duplicate transfer, retry racing a success) cannot
 // inflate the series.
 func (m *Measurements) AddUnique(rec *Record) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	series := m.byPump[rec.PumpID]
-	i := sort.Search(len(series), func(i int) bool {
-		return series[i].ServiceDays >= rec.ServiceDays
-	})
-	if i < len(series) && series[i].ServiceDays == rec.ServiceDays {
-		metDupSuppress.Inc()
-		return false
+	sh := m.shardFor(rec.PumpID)
+	sh.mu.Lock()
+	s := sh.seriesLocked(rec.PumpID)
+	recs := s.recs
+	if n := len(recs); n == 0 || recs[n-1].ServiceDays < rec.ServiceDays {
+		s.recs = append(recs, rec)
+	} else {
+		i := sort.Search(len(recs), func(i int) bool {
+			return recs[i].ServiceDays >= rec.ServiceDays
+		})
+		if i < len(recs) && recs[i].ServiceDays == rec.ServiceDays {
+			sh.mu.Unlock()
+			metDupSuppress.Inc()
+			return false
+		}
+		recs = append(recs, nil)
+		copy(recs[i+1:], recs[i:])
+		recs[i] = rec
+		s.recs = recs
 	}
-	series = append(series, nil)
-	copy(series[i+1:], series[i:])
-	series[i] = rec
-	m.byPump[rec.PumpID] = series
-	m.count++
+	m.bump(s)
+	sh.mu.Unlock()
+	m.count.Add(1)
 	metRecordsAdded.Inc()
 	metRecordBytes.Add(rawBytes(rec))
 	return true
 }
 
-// Len returns the total number of stored records.
+// Len returns the total number of stored records. It reads one atomic —
+// no shard is locked.
 func (m *Measurements) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.count
+	return int(m.count.Load())
+}
+
+// Generation returns the series generation of one pump: 0 for a pump
+// with no records, otherwise a value that changes on every mutation of
+// that pump's series. Caches keyed on it invalidate precisely when the
+// series changes.
+func (m *Measurements) Generation(pumpID int) uint64 {
+	sh := m.shardFor(pumpID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s := sh.byPump[pumpID]; s != nil {
+		return s.gen
+	}
+	return 0
+}
+
+// GenerationTotal returns a store-wide change counter: it advances on
+// every mutation of any series, so fleet-level caches can key on it.
+func (m *Measurements) GenerationTotal() uint64 {
+	return m.totalGen.Load()
 }
 
 // Pumps lists the pump ids with at least one record, ascending.
 func (m *Measurements) Pumps() []int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	ids := make([]int, 0, len(m.byPump))
-	for id := range m.byPump {
-		ids = append(ids, id)
+	var ids []int
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for id, s := range sh.byPump {
+			if len(s.recs) > 0 {
+				ids = append(ids, id)
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Ints(ids)
 	return ids
@@ -93,17 +192,28 @@ func (m *Measurements) Pumps() []int {
 // [fromDays, toDays], in time order. The returned slice is fresh; the
 // records are shared.
 func (m *Measurements) Query(pumpID int, fromDays, toDays float64) []*Record {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	series := m.byPump[pumpID]
-	lo := sort.Search(len(series), func(i int) bool {
-		return series[i].ServiceDays >= fromDays
+	sh := m.shardFor(pumpID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var recs []*Record
+	if s := sh.byPump[pumpID]; s != nil {
+		recs = s.recs
+	}
+	if n := len(recs); n == 0 || (fromDays <= recs[0].ServiceDays && recs[n-1].ServiceDays <= toDays) {
+		// Whole-series queries (the REST layer's default open range)
+		// skip both binary searches.
+		out := make([]*Record, len(recs))
+		copy(out, recs)
+		return out
+	}
+	lo := sort.Search(len(recs), func(i int) bool {
+		return recs[i].ServiceDays >= fromDays
 	})
-	hi := sort.Search(len(series), func(i int) bool {
-		return series[i].ServiceDays > toDays
+	hi := sort.Search(len(recs), func(i int) bool {
+		return recs[i].ServiceDays > toDays
 	})
 	out := make([]*Record, hi-lo)
-	copy(out, series[lo:hi])
+	copy(out, recs[lo:hi])
 	return out
 }
 
@@ -114,23 +224,28 @@ func (m *Measurements) QueryPeriod(pumpID int, p AnalysisPeriod) []*Record {
 
 // All returns every record of one pump in time order.
 func (m *Measurements) All(pumpID int) []*Record {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	series := m.byPump[pumpID]
-	out := make([]*Record, len(series))
-	copy(out, series)
+	sh := m.shardFor(pumpID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var recs []*Record
+	if s := sh.byPump[pumpID]; s != nil {
+		recs = s.recs
+	}
+	out := make([]*Record, len(recs))
+	copy(out, recs)
 	return out
 }
 
 // Latest returns the most recent record of a pump, or nil.
 func (m *Measurements) Latest(pumpID int) *Record {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	series := m.byPump[pumpID]
-	if len(series) == 0 {
+	sh := m.shardFor(pumpID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.byPump[pumpID]
+	if s == nil || len(s.recs) == 0 {
 		return nil
 	}
-	return series[len(series)-1]
+	return s.recs[len(s.recs)-1]
 }
 
 // File format constants.
@@ -140,26 +255,48 @@ var storeHeader = []byte("VPMSTORE1\n")
 // measurement store.
 var ErrBadHeader = errors.New("store: bad store file header")
 
-// Save writes the entire store to w in the binary store format.
+// snapshot collects record references per pump, holding each shard's
+// read lock only while copying slice headers — never across I/O or
+// encoding. Each series is internally consistent; the cross-shard view
+// is near-point-in-time.
+func (m *Measurements) snapshot() (ids []int, byPump map[int][]*Record, total int) {
+	byPump = make(map[int][]*Record)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for id, s := range sh.byPump {
+			if len(s.recs) == 0 {
+				continue
+			}
+			recs := make([]*Record, len(s.recs))
+			copy(recs, s.recs)
+			byPump[id] = recs
+			ids = append(ids, id)
+			total += len(recs)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Ints(ids)
+	return ids, byPump, total
+}
+
+// Save writes the entire store to w in the binary store format. The
+// store is snapshotted under brief per-shard read locks; the encoding
+// and flushing happen outside every lock, so ingestion is never blocked
+// on I/O.
 func (m *Measurements) Save(w io.Writer) error {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	ids, byPump, total := m.snapshot()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(storeHeader); err != nil {
 		return err
 	}
 	var count [8]byte
-	binary.LittleEndian.PutUint64(count[:], uint64(m.count))
+	binary.LittleEndian.PutUint64(count[:], uint64(total))
 	if _, err := bw.Write(count[:]); err != nil {
 		return err
 	}
-	ids := make([]int, 0, len(m.byPump))
-	for id := range m.byPump {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
 	for _, id := range ids {
-		for _, rec := range m.byPump[id] {
+		for _, rec := range byPump[id] {
 			if err := EncodeRecord(bw, rec); err != nil {
 				return err
 			}
@@ -195,15 +332,28 @@ func (m *Measurements) Load(r io.Reader) error {
 		loaded++
 	}
 	for id := range fresh {
-		series := fresh[id]
-		sort.Slice(series, func(a, b int) bool {
-			return series[a].ServiceDays < series[b].ServiceDays
+		recs := fresh[id]
+		sort.Slice(recs, func(a, b int) bool {
+			return recs[a].ServiceDays < recs[b].ServiceDays
 		})
 	}
-	m.mu.Lock()
-	m.byPump = fresh
-	m.count = loaded
-	m.mu.Unlock()
+	// Replace shard by shard; every replaced series gets a fresh
+	// generation so caches built over the old contents invalidate.
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.byPump = make(map[int]*series)
+		sh.mu.Unlock()
+	}
+	for id, recs := range fresh {
+		sh := m.shardFor(id)
+		sh.mu.Lock()
+		s := sh.seriesLocked(id)
+		s.recs = recs
+		m.bump(s)
+		sh.mu.Unlock()
+	}
+	m.count.Store(int64(loaded))
 	metRecordsLoad.Add(uint64(loaded))
 	return nil
 }

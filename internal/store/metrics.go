@@ -12,6 +12,9 @@ var (
 	metRecordBytes  = obs.Default.Counter("vibepm_store_record_bytes_total")
 	metDupSuppress  = obs.Default.Counter("vibepm_store_duplicates_suppressed_total")
 	metRecordsLoad  = obs.Default.Counter("vibepm_store_records_loaded_total")
+
+	metPyramidHits   = obs.Default.Counter("vibepm_store_pyramid_cache_hits_total")
+	metPyramidMisses = obs.Default.Counter("vibepm_store_pyramid_cache_misses_total")
 )
 
 // rawBytes is the in-memory payload size of one record: three int16

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomSeries(rng *rand.Rand, n int) []SeriesPoint {
+	out := make([]SeriesPoint, n)
+	for i := range out {
+		v := rng.NormFloat64()
+		if rng.Intn(4) == 0 && i > 0 {
+			// Inject exact duplicates so tie-breaking is exercised.
+			v = out[rng.Intn(i)].Value
+		}
+		out[i] = SeriesPoint{ServiceDays: float64(i), Value: v}
+	}
+	return out
+}
+
+// TestPyramidMatchesDirectDownsample pins Pyramid.Downsample to
+// DownsampleMinMax on random series (with duplicated values, so the
+// first-occurrence tie-breaks must agree) across a sweep of series
+// lengths and point budgets, including every edge case branch.
+func TestPyramidMatchesDirectDownsample(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	lengths := []int{0, 1, 2, 3, 5, 17, 64, 100, 1000, 4097}
+	budgets := []int{-1, 0, 1, 2, 3, 7, 10, 64, 99, 128, 5000}
+	for _, n := range lengths {
+		series := randomSeries(rng, n)
+		pyr := NewPyramid(series)
+		for _, maxPoints := range budgets {
+			want := DownsampleMinMax(series, maxPoints)
+			got := pyr.Downsample(maxPoints)
+			if len(want) != len(got) {
+				t.Fatalf("n=%d maxPoints=%d: len %d vs %d", n, maxPoints, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("n=%d maxPoints=%d point %d: %+v vs %+v", n, maxPoints, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPyramidConstantSeries checks an all-equal series, where every
+// comparison is a tie.
+func TestPyramidConstantSeries(t *testing.T) {
+	series := make([]SeriesPoint, 300)
+	for i := range series {
+		series[i] = SeriesPoint{ServiceDays: float64(i), Value: 1.5}
+	}
+	pyr := NewPyramid(series)
+	for _, maxPoints := range []int{1, 2, 9, 50} {
+		want := DownsampleMinMax(series, maxPoints)
+		got := pyr.Downsample(maxPoints)
+		if len(want) != len(got) {
+			t.Fatalf("maxPoints=%d: len %d vs %d", maxPoints, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("maxPoints=%d point %d: %+v vs %+v", maxPoints, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func trendTestRecord(pumpID int, day, value float64) *Record {
+	return &Record{
+		PumpID:      pumpID,
+		ServiceDays: day,
+		ScaleG:      value,
+		Raw:         [3][]int16{{1}, {1}, {1}},
+	}
+}
+
+// TestTrendCacheInvalidatesOnAppend checks the cache serves the same
+// pyramid until the series generation moves, then rebuilds.
+func TestTrendCacheInvalidatesOnAppend(t *testing.T) {
+	m := NewMeasurements()
+	for i := 0; i < 50; i++ {
+		m.Add(trendTestRecord(3, float64(i), float64(i)))
+	}
+	cache := NewTrendCache()
+	metric := func(r *Record) float64 { return r.ScaleG }
+
+	p1, g1 := cache.Pyramid(m, 3, "scale", metric)
+	if p1.Len() != 50 {
+		t.Fatalf("pyramid over %d points, want 50", p1.Len())
+	}
+	p2, g2 := cache.Pyramid(m, 3, "scale", metric)
+	if p2 != p1 || g2 != g1 {
+		t.Fatal("unchanged series must hit the cached pyramid")
+	}
+
+	m.Add(trendTestRecord(3, 50, 50))
+	p3, g3 := cache.Pyramid(m, 3, "scale", metric)
+	if p3 == p1 {
+		t.Fatal("append must invalidate the cached pyramid")
+	}
+	if g3 == g1 {
+		t.Fatal("generation must move on append")
+	}
+	if p3.Len() != 51 {
+		t.Fatalf("rebuilt pyramid over %d points, want 51", p3.Len())
+	}
+
+	// A different metric over the same pump is a distinct cache entry.
+	p4, _ := cache.Pyramid(m, 3, "days", func(r *Record) float64 { return r.ServiceDays })
+	if p4 == p3 {
+		t.Fatal("distinct metrics must not share a pyramid")
+	}
+}
+
+func BenchmarkPyramidDownsample10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	series := make([]SeriesPoint, 10000)
+	for i := range series {
+		series[i] = SeriesPoint{ServiceDays: float64(i), Value: rng.NormFloat64()}
+	}
+	pyr := NewPyramid(series)
+	b.ReportAllocs()
+	for b.Loop() {
+		pyr.Downsample(256)
+	}
+}
+
+func BenchmarkDirectDownsample10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	series := make([]SeriesPoint, 10000)
+	for i := range series {
+		series[i] = SeriesPoint{ServiceDays: float64(i), Value: rng.NormFloat64()}
+	}
+	b.ReportAllocs()
+	for b.Loop() {
+		DownsampleMinMax(series, 256)
+	}
+}

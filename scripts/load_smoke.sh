@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# load_smoke.sh — end-to-end throughput smoke test.
+#
+# Boots a vibed -simulate instance, waits for it to pass its health
+# check, then drives it with the vibebench closed-loop read mix
+# (trend panels, fleet view, pump discovery). vibebench -load exits
+# non-zero when no request succeeds, so this script failing means the
+# serve path is broken end to end, not just slow.
+set -eu
+
+ADDR="${LOAD_SMOKE_ADDR:-127.0.0.1:18081}"
+DURATION="${LOAD_SMOKE_DURATION:-3s}"
+CONCURRENCY="${LOAD_SMOKE_CONCURRENCY:-4}"
+BIN_DIR="$(mktemp -d)"
+
+cleanup() {
+    [ -n "${VIBED_PID:-}" ] && kill "$VIBED_PID" 2>/dev/null || true
+    rm -rf "$BIN_DIR"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN_DIR/vibed" ./cmd/vibed
+go build -o "$BIN_DIR/vibebench" ./cmd/vibebench
+
+"$BIN_DIR/vibed" -simulate -addr "$ADDR" -log-level warn &
+VIBED_PID=$!
+
+i=0
+until curl -fsS "http://$ADDR/api/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "load-smoke: vibed did not become healthy at $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.3
+done
+
+"$BIN_DIR/vibebench" -load \
+    -load-url "http://$ADDR" \
+    -load-concurrency "$CONCURRENCY" \
+    -load-duration "$DURATION"
