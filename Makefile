@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs bench bench-dsp bench-snapshot bench-check load-smoke experiments experiments-paper chaos cover fuzz clean
+.PHONY: all build test vet race race-obs race-wal bench bench-dsp bench-snapshot bench-check load-smoke experiments experiments-paper chaos crash-trials cover fuzz clean
 
 all: build vet test
 
@@ -24,6 +24,12 @@ race:
 race-obs:
 	$(GO) test -race -run 'TestRegistryRaceHammer|TestLoggerRaceHammer' -count=3 ./internal/obs/
 
+# The durability suites under the race detector: the 200+-offset
+# crash-point harness, concurrent ingest during checkpoints, and the
+# WAL append/replay tests.
+race-wal:
+	$(GO) test -race -run 'TestCrashPoint|TestRunCrashTrial|TestCrashWriter|TestWAL|TestDurable' -count=1 ./internal/store/ ./internal/chaos/ ./internal/gateway/
+
 # One testing.B per paper table/figure (bench_test.go) plus DSP
 # micro-benches.
 bench:
@@ -32,19 +38,21 @@ bench:
 bench-dsp:
 	$(GO) test -bench=. -benchmem ./internal/dsp/
 
-# Refresh the committed hot-path snapshot. BENCH_PR4.json is the
-# current full-suite snapshot (PR2 cases included); BENCH_PR2.json is
-# kept as the historical record of the first optimization pass.
+# Refresh the committed hot-path snapshot. BENCH_PR5.json is the
+# current full-suite snapshot (PR2/PR4 cases included, WAL cases
+# added); BENCH_PR2.json / BENCH_PR4.json are kept as the historical
+# records of the earlier passes. Volatile cases (per-op fsync) run but
+# are excluded from the written file.
 bench-snapshot:
-	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR4.json
+	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR5.json
 
 # Re-run the hot-path suite once and fail if any case drifts more than
 # ±30% from the committed snapshot (or regresses its allocation count).
-# BENCH_PR4.json covers the full suite, PR2 cases included, with
-# numbers this machine can currently reproduce; -benchgate accepts a
-# comma-separated list when gating several snapshots at once.
+# BENCH_PR5.json covers the full suite with numbers this machine can
+# currently reproduce; -benchgate accepts a comma-separated list when
+# gating several snapshots at once.
 bench-check:
-	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR4.json
+	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR5.json
 
 # End-to-end throughput smoke: boot vibed -simulate, drive it with the
 # vibebench closed-loop read mix, and fail unless requests succeed.
@@ -64,12 +72,19 @@ experiments-paper:
 chaos:
 	$(GO) run ./cmd/vibechaos -motes 8 -days 30 -plan hostile -seed 42
 
+# Sweep 200+ deterministic crash offsets through the WAL byte stream and
+# fail if any recovered store diverges from its acked prefix.
+crash-trials:
+	$(GO) run ./cmd/vibechaos -crash-trials 200 -crash-records 48 -seed 42
+
 cover:
 	$(GO) test -cover ./...
 
-# Short fuzz bursts over the binary codec and the transport protocol.
+# Short fuzz bursts over the binary codec, the WAL frame decoder, and
+# the transport protocol.
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/store/
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=30s ./internal/store/
 	$(GO) test -fuzz=FuzzTransfer -fuzztime=30s ./internal/flush/
 
 clean:

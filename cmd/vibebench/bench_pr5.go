@@ -1,0 +1,103 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"vibepm/internal/store"
+)
+
+// benchSuitePR5 assembles the durability-layer cases added with the
+// write-ahead log: the append hot path under each fsync stance, the
+// recovery replay path, and the full durable ingest (WAL frame + memory
+// apply). WALAppendSyncAlways is deliberately absent from the committed
+// gate snapshot — a per-op fsync measures the machine's disk, not the
+// code — but stays in the suite so `-bench` prints it.
+func benchSuitePR5() []benchCase {
+	mkRec := func(rng *rand.Rand, pump int, day float64) *store.Record {
+		raw := make([]int16, 16)
+		for j := range raw {
+			raw[j] = int16(rng.Intn(4096) - 2048)
+		}
+		return &store.Record{
+			PumpID:       pump,
+			ServiceDays:  day,
+			SampleRateHz: 4000,
+			ScaleG:       0.003,
+			Raw:          [3][]int16{raw, raw, raw},
+		}
+	}
+	return []benchCase{
+		{"WALAppend16", func(b *testing.B) {
+			w, err := store.OpenWAL(b.TempDir(), store.WALOptions{Policy: store.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			rec := mkRec(rand.New(rand.NewSource(1)), 3, 1.5)
+			b.ReportAllocs()
+			for b.Loop() {
+				if err := w.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"WALAppendSyncAlways", func(b *testing.B) {
+			w, err := store.OpenWAL(b.TempDir(), store.WALOptions{Policy: store.SyncAlways})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			rec := mkRec(rand.New(rand.NewSource(2)), 3, 1.5)
+			b.ReportAllocs()
+			for b.Loop() {
+				if err := w.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"WALReplay1k", func(b *testing.B) {
+			dir := b.TempDir()
+			w, err := store.OpenWAL(dir, store.WALOptions{Policy: store.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 1000; i++ {
+				if err := w.Append(mkRec(rng, i%16, float64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for b.Loop() {
+				n := 0
+				stats, err := store.ReplayWAL(dir, func(*store.Record) error { n++; return nil })
+				if err != nil || n != 1000 || stats.Truncated() {
+					b.Fatalf("replayed %d records, stats %+v, err %v", n, stats, err)
+				}
+			}
+		}},
+		{"DurableAddUnique16", func(b *testing.B) {
+			d, _, err := store.OpenDurable(b.TempDir(), store.DurableOptions{
+				WAL: store.WALOptions{Policy: store.SyncNever},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Abort()
+			rng := rand.New(rand.NewSource(4))
+			day := 0.0
+			b.ReportAllocs()
+			for b.Loop() {
+				day += 0.25
+				stored, err := d.AddUnique(mkRec(rng, int(day)%16, day))
+				if err != nil || !stored {
+					b.Fatalf("stored=%v err=%v", stored, err)
+				}
+			}
+		}},
+	}
+}

@@ -42,6 +42,10 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		maxBodyBytes = flag.Int64("max-body-bytes", restapi.DefaultMaxBodyBytes, "ingest request body cap in bytes")
 		pprofEnabled = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		walDir       = flag.String("wal-dir", "", "durable store directory: WAL + snapshot; empty disables durability")
+		fsyncPolicy  = flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
+		ckptEvery    = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period for -wal-dir")
+		syncEvery    = flag.Duration("fsync-interval", time.Second, "WAL fsync period under -fsync interval")
 	)
 	flag.Parse()
 
@@ -93,6 +97,38 @@ func main() {
 	}
 	logger.Info("corpus loaded", "measurements", measurements.Len(), "labels", labels.Len())
 
+	// Durable ingestion: recover snapshot + WAL into the corpus store,
+	// then log every ingest before acking it.
+	var durable *store.Durable
+	if *walDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			logger.Error("bad -fsync", "err", err)
+			os.Exit(2)
+		}
+		d, rstats, err := store.OpenDurable(*walDir, store.DurableOptions{
+			Store: measurements,
+			WAL:   store.WALOptions{Policy: policy},
+		})
+		if err != nil {
+			logger.Error("open durable store failed", "dir", *walDir, "err", err)
+			os.Exit(1)
+		}
+		durable = d
+		logger.Info("durable store recovered",
+			"dir", *walDir,
+			"snapshot_loaded", rstats.SnapshotLoaded,
+			"snapshot_records", rstats.SnapshotRecords,
+			"wal_segments", rstats.Replay.Segments,
+			"wal_records_replayed", rstats.Replayed,
+			"wal_truncations", rstats.Replay.Truncations,
+			"fsync", policy.String(),
+		)
+		durable.StartCheckpointLoop(*ckptEvery, *syncEvery, func(err error) {
+			logger.Warn("durable background maintenance", "err", err)
+		})
+	}
+
 	periods, err := store.NewPeriodManager(store.AnalysisPeriod{StartDays: 0, EndDays: 1e9}, 1.0/24)
 	if err != nil {
 		logger.Error("period manager", "err", err)
@@ -109,8 +145,11 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/api/v1/analysis/", restapi.NewAnalysis(eng, ageOf))
-	mux.Handle("/api/v1/", restapi.New(measurements, labels, periods,
-		restapi.WithMaxBodyBytes(*maxBodyBytes)))
+	apiOpts := []restapi.Option{restapi.WithMaxBodyBytes(*maxBodyBytes)}
+	if durable != nil {
+		apiOpts = append(apiOpts, restapi.WithDurable(durable))
+	}
+	mux.Handle("/api/v1/", restapi.New(measurements, labels, periods, apiOpts...))
 	if *pprofEnabled {
 		// Mount explicitly rather than importing for side effects on
 		// http.DefaultServeMux: the profile surface is opt-in.
@@ -156,6 +195,15 @@ func main() {
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("serve", "err", err)
 			os.Exit(1)
+		}
+		if durable != nil {
+			// Final checkpoint: a clean shutdown restarts from the
+			// snapshot alone instead of replaying the whole log.
+			if err := durable.Close(); err != nil {
+				logger.Error("durable close", "err", err)
+				os.Exit(1)
+			}
+			logger.Info("durable store checkpointed")
 		}
 		logger.Info("stopped cleanly")
 	}

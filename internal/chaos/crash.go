@@ -1,0 +1,256 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+
+	"vibepm/internal/store"
+)
+
+// ErrCrashed is the error a CrashWriter returns once its byte budget
+// is exhausted — the injected stand-in for the process dying mid-write.
+var ErrCrashed = errors.New("chaos: injected crash")
+
+// CrashBudget is a byte allowance shared by every CrashWriter wrapping
+// one WAL: after budget bytes have been written (across all segment
+// files, headers included), the write in flight is cut at exactly that
+// offset and every later write or sync fails. The partial prefix
+// reaches the real file — precisely what a kernel would have persisted
+// when the process died mid-write.
+type CrashBudget struct {
+	mu        sync.Mutex
+	remaining int64
+	written   int64
+	crashed   bool
+}
+
+// NewCrashBudget allows n bytes before the crash. n <= 0 means no
+// crash: the budget only counts bytes, which is how the harness
+// measures a trial's total WAL footprint.
+func NewCrashBudget(n int64) *CrashBudget {
+	if n <= 0 {
+		n = math.MaxInt64
+	}
+	return &CrashBudget{remaining: n}
+}
+
+// Written returns the bytes written through so far.
+func (b *CrashBudget) Written() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.written
+}
+
+// Crashed reports whether the budget has fired.
+func (b *CrashBudget) Crashed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.crashed
+}
+
+// Wrap interposes the budget on one segment file — the function handed
+// to store.WALOptions.WrapFile.
+func (b *CrashBudget) Wrap(_ string, f *os.File) store.SegmentFile {
+	return &CrashWriter{f: f, budget: b}
+}
+
+// CrashWriter is a SegmentFile that writes through to the real file
+// until the shared budget fires, then drops everything: the write that
+// crosses the budget persists only its prefix, and every later write
+// and fsync returns ErrCrashed. Deterministic by construction — the
+// crash point is a pure function of the byte stream, not of timing.
+type CrashWriter struct {
+	f      *os.File
+	budget *CrashBudget
+}
+
+// Write implements io.Writer with the injected cut-off.
+func (c *CrashWriter) Write(p []byte) (int, error) {
+	b := c.budget
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.crashed {
+		return 0, ErrCrashed
+	}
+	if int64(len(p)) <= b.remaining {
+		n, err := c.f.Write(p)
+		b.remaining -= int64(n)
+		b.written += int64(n)
+		return n, err
+	}
+	keep := b.remaining
+	b.crashed = true
+	b.remaining = 0
+	n, _ := c.f.Write(p[:keep])
+	b.written += int64(n)
+	return n, ErrCrashed
+}
+
+// Sync fsyncs until the crash, then fails like the dead process would.
+func (c *CrashWriter) Sync() error {
+	if c.budget.Crashed() {
+		return ErrCrashed
+	}
+	return c.f.Sync()
+}
+
+// Close always releases the descriptor; a crashed file still closes so
+// trial loops do not leak descriptors.
+func (c *CrashWriter) Close() error { return c.f.Close() }
+
+// CrashTrialConfig parameterizes one crash-point trial.
+type CrashTrialConfig struct {
+	// Dir is the durable store directory (one per trial).
+	Dir string
+	// Seed fixes the generated record stream.
+	Seed int64
+	// Records is how many appends the trial attempts.
+	Records int
+	// CrashAfterBytes cuts the WAL byte stream at this offset
+	// (headers included); <= 0 runs to completion without crashing.
+	CrashAfterBytes int64
+	// SegmentBytes sets the WAL rotation threshold (0 = default).
+	// Small values make crash offsets land on rotation boundaries.
+	SegmentBytes int64
+	// Policy is the WAL fsync policy under test.
+	Policy store.SyncPolicy
+	// CleanClose, when set, additionally closes the recovered store
+	// with a checkpoint and reopens it once more, asserting the
+	// snapshot+retire path reproduces the same contents.
+	CleanClose bool
+}
+
+// CrashTrialResult reports one trial.
+type CrashTrialResult struct {
+	// Attempted is how many appends were issued before the first
+	// failure (or all of them).
+	Attempted int
+	// Acked is how many appends were acknowledged (nil error).
+	Acked int
+	// Recovered is how many records reopening the store reconstructed.
+	Recovered int
+	// Crashed reports whether the injected crash fired.
+	Crashed bool
+	// WALBytes is the total bytes the trial wrote through the budget.
+	WALBytes int64
+}
+
+// crashTrialRecord builds the i-th record of a seeded trial stream:
+// pump ids stride across shards, service times ascend, and the samples
+// are seeded noise so every record's bytes are distinct.
+func crashTrialRecord(rng *rand.Rand, i int) *store.Record {
+	raw := make([]int16, 8)
+	for j := range raw {
+		raw[j] = int16(rng.Intn(4096) - 2048)
+	}
+	return &store.Record{
+		PumpID:       (i * 7) % 48, // strides across all 16 shards
+		ServiceDays:  float64(i) * 0.25,
+		SampleRateHz: 4000,
+		ScaleG:       0.003,
+		Raw:          [3][]int16{raw, raw, raw},
+	}
+}
+
+// RunCrashTrial appends a seeded record stream into a durable store
+// whose WAL is cut at an injected byte offset, then reopens the
+// directory and checks the recovery contract: the recovered store
+// holds exactly the acknowledged appends — no acked record lost, no
+// phantom records, no panic. A non-nil error means the contract was
+// violated (or the trial could not run).
+func RunCrashTrial(cfg CrashTrialConfig) (CrashTrialResult, error) {
+	var res CrashTrialResult
+	budget := NewCrashBudget(cfg.CrashAfterBytes)
+	d, _, err := store.OpenDurable(cfg.Dir, store.DurableOptions{
+		WAL: store.WALOptions{
+			SegmentBytes: cfg.SegmentBytes,
+			Policy:       cfg.Policy,
+			WrapFile:     budget.Wrap,
+		},
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var acked []*store.Record
+	if err != nil {
+		// The crash fired while opening the very first segment: nothing
+		// was acked, and reopening below must still recover cleanly.
+		if !budget.Crashed() {
+			return res, fmt.Errorf("open durable: %w", err)
+		}
+	} else {
+		for i := 0; i < cfg.Records; i++ {
+			rec := crashTrialRecord(rng, i)
+			res.Attempted++
+			stored, err := d.AddUnique(rec)
+			if err != nil {
+				break
+			}
+			if !stored {
+				return res, fmt.Errorf("append %d: unexpectedly judged duplicate", i)
+			}
+			acked = append(acked, rec)
+		}
+		d.Abort()
+	}
+	res.Acked = len(acked)
+	res.Crashed = budget.Crashed()
+	res.WALBytes = budget.Written()
+
+	recovered, _, err := store.OpenDurable(cfg.Dir, store.DurableOptions{})
+	if err != nil {
+		return res, fmt.Errorf("reopen after crash: %w", err)
+	}
+	res.Recovered = recovered.Store().Len()
+	if err := storesEqualAcked(recovered.Store(), acked); err != nil {
+		recovered.Abort()
+		return res, err
+	}
+	if cfg.CleanClose {
+		// Exercise checkpoint + segment retirement: close cleanly and
+		// reopen from the snapshot alone.
+		if err := recovered.Close(); err != nil {
+			return res, fmt.Errorf("clean close: %w", err)
+		}
+		again, _, err := store.OpenDurable(cfg.Dir, store.DurableOptions{})
+		if err != nil {
+			return res, fmt.Errorf("reopen after checkpoint: %w", err)
+		}
+		if err := storesEqualAcked(again.Store(), acked); err != nil {
+			again.Abort()
+			return res, fmt.Errorf("after checkpoint: %w", err)
+		}
+		again.Abort()
+	} else {
+		recovered.Abort()
+	}
+	return res, nil
+}
+
+// storesEqualAcked asserts that got holds exactly the acked records,
+// byte for byte, by comparing canonical Save encodings.
+func storesEqualAcked(got *store.Measurements, acked []*store.Record) error {
+	want := store.NewMeasurements()
+	for _, rec := range acked {
+		if !want.AddUnique(rec) {
+			return fmt.Errorf("acked stream contains an internal duplicate")
+		}
+	}
+	if got.Len() != want.Len() {
+		return fmt.Errorf("recovered %d records, acked %d", got.Len(), want.Len())
+	}
+	var gb, wb bytes.Buffer
+	if err := got.Save(&gb); err != nil {
+		return fmt.Errorf("encode recovered: %w", err)
+	}
+	if err := want.Save(&wb); err != nil {
+		return fmt.Errorf("encode acked: %w", err)
+	}
+	if !bytes.Equal(gb.Bytes(), wb.Bytes()) {
+		return errors.New("recovered store differs from the acked appends")
+	}
+	return nil
+}

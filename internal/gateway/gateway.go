@@ -137,8 +137,13 @@ type Faults interface {
 // Config parameterizes the server.
 type Config struct {
 	// Store receives the ingested measurements; nil allocates a fresh
-	// one.
+	// one. Ignored when Durable is set.
 	Store *store.Measurements
+	// Durable, when non-nil, routes every ingest through the write-ahead
+	// log: a measurement is acknowledged (counted Stored) only after its
+	// WAL append succeeded, so an acked ingest survives a crash of the
+	// server process.
+	Durable *store.Durable
 	// Link configures the lossy radio channel between each mote and the
 	// base station (per-mote links are derived with distinct seeds).
 	Link flush.LinkConfig
@@ -176,6 +181,7 @@ type Server struct {
 	mu      sync.Mutex // guards motes map and registration order
 	cfg     Config
 	store   *store.Measurements
+	durable *store.Durable
 	motes   map[int]*entry
 	metrics *gatewayMetrics
 }
@@ -277,6 +283,9 @@ func (r *IngestReport) merge(o IngestReport) {
 // New builds a server from cfg.
 func New(cfg Config) *Server {
 	st := cfg.Store
+	if cfg.Durable != nil {
+		st = cfg.Durable.Store()
+	}
 	if st == nil {
 		st = store.NewMeasurements()
 	}
@@ -289,7 +298,7 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = obs.Default
 	}
-	return &Server{cfg: cfg, store: st, motes: make(map[int]*entry), metrics: newGatewayMetrics(reg)}
+	return &Server{cfg: cfg, store: st, durable: cfg.Durable, motes: make(map[int]*entry), metrics: newGatewayMetrics(reg)}
 }
 
 // Store returns the measurement database the server ingests into.
@@ -472,7 +481,11 @@ func (s *Server) advanceEntry(e *entry, nowDays float64) IngestReport {
 		}
 		stored := s.storeWithRetry(e, got, &rep)
 		for d := 0; stored && d < wf.DuplicateDeliveries; d++ {
-			if !s.store.AddUnique(got) {
+			dup, err := s.ingest(got)
+			if err != nil {
+				break
+			}
+			if !dup {
 				rep.Duplicates++
 			}
 		}
@@ -524,8 +537,21 @@ func (s *Server) transferWithRetry(e *entry, payload []byte, corrupt func([]byte
 	}
 }
 
+// ingest applies one record through the durable path when configured
+// (WAL append before the memory apply — the ack point) or straight
+// into the in-memory store otherwise.
+func (s *Server) ingest(rec *store.Record) (bool, error) {
+	if s.durable != nil {
+		return s.durable.AddUnique(rec)
+	}
+	return s.store.AddUnique(rec), nil
+}
+
 // storeWithRetry ingests one record, retrying injected store write
-// errors under the same backoff budget as transfers.
+// errors — and real WAL append errors — under the same backoff budget
+// as transfers. The measurement counts Stored only after the write is
+// acknowledged, which on the durable path means the WAL frame is on
+// disk per the configured fsync policy.
 func (s *Server) storeWithRetry(e *entry, rec *store.Record, rep *IngestReport) bool {
 	cfg := s.cfg.Retry
 	delay := cfg.BaseDelaySeconds
@@ -534,8 +560,12 @@ func (s *Server) storeWithRetry(e *entry, rec *store.Record, rep *IngestReport) 
 		if s.cfg.Faults != nil {
 			err = s.cfg.Faults.OnStore(e.id)
 		}
+		var stored bool
 		if err == nil {
-			if s.store.AddUnique(rec) {
+			stored, err = s.ingest(rec)
+		}
+		if err == nil {
+			if stored {
 				rep.Stored++
 			} else {
 				rep.Duplicates++

@@ -1,0 +1,76 @@
+package restapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vibepm/internal/obs"
+	"vibepm/internal/store"
+)
+
+func durableIngestBody(t *testing.T, pump int, day float64) []byte {
+	t.Helper()
+	samples := make([]int16, 32)
+	for i := range samples {
+		samples[i] = int16(i*37 - 500)
+	}
+	body, err := json.Marshal(map[string]any{
+		"pump_id": pump, "service_days": day,
+		"sample_rate_hz": 4000.0, "scale_g": 0.003,
+		"x": EncodeAxis(samples), "y": EncodeAxis(samples), "z": EncodeAxis(samples),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postMeasurement(s *Server, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/measurements", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestIngestDurable pins the WAL-backed ingest contract: a 201 means
+// the record survives an uncheckpointed crash, a duplicate still
+// answers 409, and a wedged WAL turns into 503 — never a false ack.
+func TestIngestDurable(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := store.OpenDurable(dir, store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(d.Store(), nil, nil, WithDurable(d), WithMetrics(obs.NewRegistry()))
+
+	if rec := postMeasurement(s, durableIngestBody(t, 7, 1.5)); rec.Code != http.StatusCreated {
+		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := postMeasurement(s, durableIngestBody(t, 7, 1.5)); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate status %d", rec.Code)
+	}
+	d.Abort() // crash without checkpoint
+
+	re, _, err := store.OpenDurable(dir, store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Store().Len() != 1 {
+		t.Fatalf("recovered %d records, want 1", re.Store().Len())
+	}
+
+	// A dead WAL must answer 503 and leave the store untouched.
+	if err := re.WAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(re.Store(), nil, nil, WithDurable(re), WithMetrics(obs.NewRegistry()))
+	if rec := postMeasurement(s2, durableIngestBody(t, 8, 2.5)); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dead-WAL ingest status %d: %s", rec.Code, rec.Body.String())
+	}
+	if re.Store().Len() != 1 {
+		t.Fatalf("dead WAL let a record in: %d", re.Store().Len())
+	}
+}

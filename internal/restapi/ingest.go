@@ -98,7 +98,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	// Idempotent insert: a retried or duplicated POST must not inflate
 	// the series — the same guarantee the gateway's transport path has.
-	if !s.measurements.AddUnique(rec) {
+	// On the durable path the insert is WAL-logged first; only a record
+	// that is on disk (per the fsync policy) earns the 201.
+	stored := false
+	if s.durable != nil {
+		var err error
+		stored, err = s.durable.AddUnique(rec)
+		if err != nil {
+			s.ingestRejected.Inc()
+			writeErr(w, http.StatusServiceUnavailable, "write-ahead log unavailable: %v", err)
+			return
+		}
+	} else {
+		stored = s.measurements.AddUnique(rec)
+	}
+	if !stored {
 		s.ingestDuplicates.Inc()
 		writeJSON(w, http.StatusConflict, map[string]any{
 			"error":        "duplicate measurement",

@@ -28,6 +28,7 @@ const DefaultMaxBodyBytes = 8 << 20
 // Server wires the stores into an http.Handler.
 type Server struct {
 	measurements *store.Measurements
+	durable      *store.Durable
 	labels       *store.Labels
 	periods      *store.PeriodManager
 	mux          *http.ServeMux
@@ -65,6 +66,14 @@ func WithMaxBodyBytes(n int64) Option {
 			s.maxBodyBytes = n
 		}
 	}
+}
+
+// WithDurable routes POST /api/v1/measurements through the durable
+// store: a 201 is returned only after the record's WAL append
+// succeeded, and a failed log (disk gone, WAL wedged) answers 503
+// instead of acking data that would not survive a restart.
+func WithDurable(d *store.Durable) Option {
+	return func(s *Server) { s.durable = d }
 }
 
 // New builds the API server. labels and periods may be nil, disabling

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -358,17 +359,44 @@ func (m *Measurements) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes the store to path, creating or truncating it.
+// SaveFile writes the store to path atomically: the bytes go to a
+// temp file in the same directory, are fsynced, and only then renamed
+// over path. A crash mid-save can therefore never truncate or corrupt
+// an existing snapshot — the previous file stays intact until the new
+// one is complete and durable.
 func (m *Measurements) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := m.Save(f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := m.Save(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Durable rename: fsync the directory so the new name survives a
+	// crash. Best-effort — some filesystems refuse directory syncs.
+	if df, err := os.Open(dir); err == nil {
+		_ = df.Sync()
+		df.Close()
+	}
+	return nil
 }
 
 // LoadFile reads a store from path.

@@ -15,6 +15,19 @@ var (
 
 	metPyramidHits   = obs.Default.Counter("vibepm_store_pyramid_cache_hits_total")
 	metPyramidMisses = obs.Default.Counter("vibepm_store_pyramid_cache_misses_total")
+
+	// Durability-layer metrics: WAL write path, recovery replay, and
+	// checkpointing.
+	metWALAppends     = obs.Default.Counter("vibepm_store_wal_appends_total")
+	metWALBytes       = obs.Default.Counter("vibepm_store_wal_bytes_total")
+	metWALFsyncs      = obs.Default.Counter("vibepm_store_wal_fsyncs_total")
+	metWALRotations   = obs.Default.Counter("vibepm_store_wal_rotations_total")
+	metWALSegRetired  = obs.Default.Counter("vibepm_store_wal_segments_retired_total")
+	metWALReplayed    = obs.Default.Counter("vibepm_store_wal_records_replayed_total")
+	metWALTruncations = obs.Default.Counter("vibepm_store_wal_truncations_total")
+	metRecoveries     = obs.Default.Counter("vibepm_store_recoveries_total")
+	metCheckpoints    = obs.Default.Counter("vibepm_store_checkpoints_total")
+	metCheckpointDur  = obs.Default.Histogram("vibepm_store_checkpoint_duration_seconds", nil)
 )
 
 // rawBytes is the in-memory payload size of one record: three int16
