@@ -2,6 +2,8 @@ package gateway
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"testing"
 
 	"vibepm/internal/mems"
@@ -131,5 +133,87 @@ func TestDurableGatewayWALFailure(t *testing.T) {
 	}
 	if srv.Store().Len() != 0 {
 		t.Fatalf("store holds %d unlogged records", srv.Store().Len())
+	}
+}
+
+// budgetSegment fails every write that would cross a byte budget —
+// just enough of chaos.CrashWriter to wedge a WAL at an exact byte
+// (gateway tests cannot import chaos without an import cycle).
+type budgetSegment struct {
+	f    *os.File
+	left *int64
+}
+
+func (b *budgetSegment) Write(p []byte) (int, error) {
+	if *b.left < int64(len(p)) {
+		*b.left = 0
+		return 0, errors.New("wal budget exhausted")
+	}
+	*b.left -= int64(len(p))
+	return b.f.Write(p)
+}
+
+func (b *budgetSegment) Sync() error  { return b.f.Sync() }
+func (b *budgetSegment) Close() error { return b.f.Close() }
+
+// TestDuplicateDeliveryWALFailureCounted pins the accounting on the
+// duplicate-delivery path: a durable ingest that dies while storing an
+// injected duplicate must surface as a StoreFailure, not vanish.
+func TestDuplicateDeliveryWALFailureCounted(t *testing.T) {
+	const samples = 128
+	// Budget exactly the segment header (8 bytes) plus one frame (12-byte
+	// header + one samples-sized record): the first ingest of the slot
+	// lands, the duplicate's WAL append is the write that kills the log.
+	probe := &store.Record{SampleRateHz: 1, ScaleG: 1}
+	for axis := range probe.Raw {
+		probe.Raw[axis] = make([]int16, samples)
+	}
+	var enc bytes.Buffer
+	if err := store.EncodeRecord(&enc, probe); err != nil {
+		t.Fatal(err)
+	}
+	left := int64(8 + 12 + enc.Len())
+
+	dir := t.TempDir()
+	d, _, err := store.OpenDurable(dir, store.DurableOptions{WAL: store.WALOptions{
+		Policy: store.SyncNever,
+		WrapFile: func(_ string, f *os.File) store.SegmentFile {
+			return &budgetSegment{f: f, left: &left}
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Abort()
+
+	srv := New(Config{
+		Durable: d,
+		Faults: &fakeFaults{wakeup: func(int, float64) WakeupFaults {
+			return WakeupFaults{DuplicateDeliveries: 1}
+		}},
+	})
+	pump := physics.NewPump(physics.PumpConfig{ID: 0, Seed: 1})
+	sensor, err := mems.New(mems.Config{Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mote.New(mote.Config{
+		ID:                    0,
+		ReportPeriodHours:     12,
+		SamplesPerMeasurement: samples,
+	}, sensor, pump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(m, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := srv.Advance(0.1) // one slot: one measurement, one duplicate
+	if rep.Stored != 1 {
+		t.Fatalf("stored %d measurements, want exactly 1", rep.Stored)
+	}
+	if rep.StoreFailures != 1 {
+		t.Fatalf("duplicate-delivery WAL failure not counted: StoreFailures = %d, want 1", rep.StoreFailures)
 	}
 }

@@ -483,6 +483,10 @@ func (s *Server) advanceEntry(e *entry, nowDays float64) IngestReport {
 		for d := 0; stored && d < wf.DuplicateDeliveries; d++ {
 			dup, err := s.ingest(got)
 			if err != nil {
+				// A durable ingest failure is a store failure wherever it
+				// happens — the duplicate-delivery path must not swallow
+				// the accounting that storeWithRetry does.
+				rep.StoreFailures++
 				break
 			}
 			if !dup {
@@ -571,6 +575,12 @@ func (s *Server) storeWithRetry(e *entry, rec *store.Record, rep *IngestReport) 
 				rep.Duplicates++
 			}
 			return true
+		}
+		if errors.Is(err, store.ErrRecordTooLarge) {
+			// Permanent per-record rejection, not a transient store
+			// fault: retrying cannot help.
+			rep.StoreFailures++
+			return false
 		}
 		if attempt >= cfg.MaxAttempts {
 			rep.StoreFailures++

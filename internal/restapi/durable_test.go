@@ -74,3 +74,49 @@ func TestIngestDurable(t *testing.T) {
 		t.Fatalf("dead WAL let a record in: %d", re.Store().Len())
 	}
 }
+
+// TestIngestOversizedMeasurement pins the size-bound contract: a
+// measurement the codec cannot persist is refused with 400 before it
+// is acked — never appended to the WAL, where recovery would have to
+// drop it (and every later record in the segment) as corrupt.
+func TestIngestOversizedMeasurement(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := store.OpenDurable(dir, store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raise the body cap so the request reaches the codec bound (400)
+	// instead of the transport bound (413).
+	s := New(d.Store(), nil, nil, WithDurable(d), WithMetrics(obs.NewRegistry()),
+		WithMaxBodyBytes(64<<20))
+
+	axis := EncodeAxis(make([]int16, store.MaxSamplesPerAxis+1))
+	body, err := json.Marshal(map[string]any{
+		"pump_id": 1, "service_days": 0.5,
+		"sample_rate_hz": 4000.0, "scale_g": 0.003,
+		"x": axis, "y": axis, "z": axis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := postMeasurement(s, body); rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized ingest status %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	if d.Store().Len() != 0 {
+		t.Fatalf("oversized record applied: store holds %d records", d.Store().Len())
+	}
+	// The rejection is per-record: the WAL stays healthy and a normal
+	// measurement still ingests and survives a crash.
+	if rec := postMeasurement(s, durableIngestBody(t, 1, 1.5)); rec.Code != http.StatusCreated {
+		t.Fatalf("follow-up ingest status %d: %s", rec.Code, rec.Body.String())
+	}
+	d.Abort()
+	re, _, err := store.OpenDurable(dir, store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Abort()
+	if re.Store().Len() != 1 {
+		t.Fatalf("recovered %d records, want 1", re.Store().Len())
+	}
+}

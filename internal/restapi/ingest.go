@@ -96,6 +96,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "axes must be non-empty and equal length")
 		return
 	}
+	if k > store.MaxSamplesPerAxis {
+		// The codec (and so the WAL and snapshots) caps the per-axis
+		// sample count; a record past the cap could be held in memory
+		// but never persisted or recovered, so it is rejected up front
+		// on the in-memory path too.
+		s.ingestRejected.Inc()
+		writeErr(w, http.StatusBadRequest, "%d samples per axis exceeds limit %d", k, store.MaxSamplesPerAxis)
+		return
+	}
 	// Idempotent insert: a retried or duplicated POST must not inflate
 	// the series — the same guarantee the gateway's transport path has.
 	// On the durable path the insert is WAL-logged first; only a record
@@ -106,6 +115,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		stored, err = s.durable.AddUnique(rec)
 		if err != nil {
 			s.ingestRejected.Inc()
+			if errors.Is(err, store.ErrRecordTooLarge) {
+				// Per-record rejection — the WAL is healthy, the client
+				// payload is not. 400, not 503.
+				writeErr(w, http.StatusBadRequest, "measurement too large: %v", err)
+				return
+			}
 			writeErr(w, http.StatusServiceUnavailable, "write-ahead log unavailable: %v", err)
 			return
 		}

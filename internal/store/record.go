@@ -56,11 +56,23 @@ var (
 	ErrBadVersion = errors.New("store: unsupported record version")
 )
 
-// maxSamplesPerAxis bounds decoded allocations against corrupt input.
-const maxSamplesPerAxis = 1 << 20
+// MaxSamplesPerAxis bounds the per-axis sample count a record may
+// carry. The codec enforces it on both encode and decode: DecodeRecord
+// bounds allocations against corrupt input, and EncodeRecord mirrors
+// the check so a record too large to recover can never be written (and
+// acknowledged) in the first place.
+const MaxSamplesPerAxis = 1 << 20
+
+// ErrRecordTooLarge marks a record that exceeds the codec size bounds.
+// It is a permanent per-record rejection — the store/WAL underneath is
+// healthy — so ingestion layers map it to "bad request", not "retry".
+var ErrRecordTooLarge = errors.New("store: record too large")
 
 // EncodeRecord writes r in the binary record format.
 func EncodeRecord(w io.Writer, r *Record) error {
+	if k := len(r.Raw[0]); k > MaxSamplesPerAxis {
+		return fmt.Errorf("%w: %d samples per axis (max %d)", ErrRecordTooLarge, k, MaxSamplesPerAxis)
+	}
 	var hdr [30]byte
 	binary.LittleEndian.PutUint32(hdr[0:], recordMagic)
 	binary.LittleEndian.PutUint16(hdr[4:], recordVersion)
@@ -107,8 +119,8 @@ func DecodeRecord(r io.Reader) (*Record, error) {
 		ScaleG:       float64(math.Float32frombits(binary.LittleEndian.Uint32(hdr[22:]))),
 	}
 	k := int(binary.LittleEndian.Uint32(hdr[26:]))
-	if k < 0 || k > maxSamplesPerAxis {
-		return nil, fmt.Errorf("store: implausible sample count %d", k)
+	if k < 0 || k > MaxSamplesPerAxis {
+		return nil, fmt.Errorf("%w: implausible sample count %d", ErrRecordTooLarge, k)
 	}
 	buf := make([]byte, 2*k)
 	for axis := 0; axis < 3; axis++ {

@@ -287,6 +287,16 @@ func (w *WAL) Append(rec *Record) error {
 	}
 	b := frame.Bytes()
 	payload := b[walHeaderLen:]
+	if len(payload) > maxWALPayload {
+		// Refuse before any byte reaches the segment: recovery rejects
+		// frames past maxWALPayload, so acking one here would ack a
+		// record that destroys itself (and everything behind it in the
+		// segment) at the next replay. EncodeRecord's MaxSamplesPerAxis
+		// bound makes this unreachable today; it stays as the invariant
+		// check the durability contract is stated over. Per-record, not
+		// sticky: the WAL itself is untouched and healthy.
+		return fmt.Errorf("%w: frame payload %d bytes exceeds %d", ErrRecordTooLarge, len(payload), maxWALPayload)
+	}
 	binary.LittleEndian.PutUint32(b[0:], walFrameMagic)
 	binary.LittleEndian.PutUint32(b[4:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(b[8:], crc32.Checksum(payload, crcTable))
@@ -477,10 +487,32 @@ func (w *WAL) Retire(cut int) (int, error) {
 }
 
 // Close syncs and closes the current segment. Further appends fail.
+//
+// Ordering matters for appends racing a clean shutdown: Close performs
+// the final sync and advances the durable watermark over every assigned
+// sequence number *before* group-commit waiters can observe closure, so
+// a SyncAlways append whose frame made it into the segment is acked —
+// its bytes are durable — rather than failed spuriously.
 func (w *WAL) Close() error {
+	// Take group-commit leadership so no in-flight leader races the
+	// final sync; waiters that arrive meanwhile park on the condvar.
+	w.syncMu.Lock()
+	for w.syncing {
+		w.syncCond.Wait()
+	}
+	w.syncing = true
+	w.syncMu.Unlock()
+	releaseLeadership := func() {
+		w.syncMu.Lock()
+		w.syncing = false
+		w.syncCond.Broadcast()
+		w.syncMu.Unlock()
+	}
+
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
+		releaseLeadership()
 		return nil
 	}
 	w.closed = true
@@ -488,13 +520,32 @@ func (w *WAL) Close() error {
 	w.f = nil
 	failed := w.failed
 	w.mu.Unlock()
-	w.notifyFailure(fmt.Errorf("%w: closed", ErrWALFailed))
-	if f == nil {
-		return nil
-	}
+
+	// Every frame written before closed was set has its sequence number
+	// assigned (both happen under mu), so after this sync the target
+	// read below covers all of them.
 	var err error
-	if failed == nil {
+	if f != nil && failed == nil {
 		err = f.Sync()
+		if err == nil {
+			metWALFsyncs.Inc()
+		}
+	}
+	target := w.appendSeq.Load()
+
+	w.syncMu.Lock()
+	w.syncing = false
+	if err == nil && failed == nil && target > w.syncedSeq {
+		w.syncedSeq = target
+	}
+	if w.failedSync == nil {
+		w.failedSync = fmt.Errorf("%w: closed", ErrWALFailed)
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+
+	if f == nil {
+		return err
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

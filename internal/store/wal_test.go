@@ -2,11 +2,14 @@ package store
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -486,4 +489,144 @@ func TestDurableRetiresSegments(t *testing.T) {
 		t.Fatalf("segments before %d, after %d", len(before), len(after))
 	}
 	d.Abort()
+}
+
+// TestOversizedRecordRejectedBeforeAck pins the size-bound contract:
+// a record the codec cannot recover must be refused at append time —
+// never acked and then dropped (with everything behind it in the
+// segment) as "implausible" at replay.
+func TestOversizedRecordRejectedBeforeAck(t *testing.T) {
+	big := &Record{PumpID: 1, ServiceDays: 1, SampleRateHz: 4000, ScaleG: 0.01}
+	for axis := range big.Raw {
+		big.Raw[axis] = make([]int16, MaxSamplesPerAxis+1)
+	}
+	if err := EncodeRecord(io.Discard, big); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("EncodeRecord err = %v, want ErrRecordTooLarge", err)
+	}
+
+	dir := t.TempDir()
+	d, _, err := OpenDurable(dir, DurableOptions{WAL: WALOptions{Policy: SyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddUnique(big); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("AddUnique err = %v, want ErrRecordTooLarge", err)
+	} else if errors.Is(err, ErrWALFailed) {
+		t.Fatalf("oversized record latched the WAL failed: %v", err)
+	}
+	if d.Store().Len() != 0 {
+		t.Fatalf("oversized record applied: store holds %d records", d.Store().Len())
+	}
+	// The rejection is per-record, not sticky: later appends both ack
+	// and survive a crash.
+	rng := rand.New(rand.NewSource(77))
+	good := randomRecord(rng, 2, 3, 16)
+	if err := d.Add(good); err != nil {
+		t.Fatalf("append after rejection: %v", err)
+	}
+	d.Abort()
+	re, rstats, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Abort()
+	if re.Store().Len() != 1 || rstats.Replayed != 1 || rstats.Replay.Truncated() {
+		t.Fatalf("recovered %d records (replayed %d, stats %+v), want the 1 acked record",
+			re.Store().Len(), rstats.Replayed, rstats.Replay)
+	}
+}
+
+// TestDurableAddDedupesSameKey: Durable stores only unique keys, and
+// Add must apply with the same idempotent insert recovery uses — a
+// duplicate-keyed Add may not create state that a crash would silently
+// collapse.
+func TestDurableAddDedupesSameKey(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDurable(dir, DurableOptions{WAL: WALOptions{Policy: SyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	if err := d.Add(randomRecord(rng, 1, 5, 16)); err != nil {
+		t.Fatal(err)
+	}
+	// Same (pump, service-days) key, different samples.
+	if err := d.Add(randomRecord(rng, 1, 5, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Store().Len() != 1 {
+		t.Fatalf("duplicate-keyed Add applied twice: store holds %d records", d.Store().Len())
+	}
+	var want bytes.Buffer
+	if err := d.Store().Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	d.Abort() // crash: replay sees both frames, dedupes the second
+	re, _, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Abort()
+	var got bytes.Buffer
+	if err := re.Store().Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("recovered store differs from the acked one after duplicate-keyed Adds")
+	}
+}
+
+// TestWALCloseAcksRacingAppends: a SyncAlways append racing a clean
+// Close must resolve consistently — acked iff its frame is in the log.
+// Close performs the final sync before waiters can observe closure, so
+// a frame that made it into the segment is acknowledged, not failed
+// spuriously after its bytes became durable.
+func TestWALCloseAcksRacingAppends(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		dir := t.TempDir()
+		w, err := OpenWAL(dir, WALOptions{Policy: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const writers, perWriter = 4, 25
+		acked := make([]atomic.Bool, writers*perWriter)
+		var wg sync.WaitGroup
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(trial*writers + g)))
+				for i := 0; i < perWriter; i++ {
+					id := g*perWriter + i
+					err := w.Append(randomRecord(rng, g, float64(id), 8))
+					switch {
+					case err == nil:
+						acked[id].Store(true)
+					case !errors.Is(err, ErrWALFailed):
+						t.Errorf("append %d: unexpected error %v", id, err)
+					}
+				}
+			}(g)
+		}
+		// Close races the appenders at a different point each trial.
+		time.Sleep(time.Duration(trial) * 200 * time.Microsecond)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		replayed := make(map[int]bool)
+		recs, _ := collectReplay(t, dir)
+		for _, r := range recs {
+			replayed[int(r.ServiceDays)] = true
+		}
+		for id := range acked {
+			if acked[id].Load() != replayed[id] {
+				t.Fatalf("trial %d: record %d acked=%v but replayed=%v",
+					trial, id, acked[id].Load(), replayed[id])
+			}
+		}
+	}
 }
