@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs race-wal bench bench-dsp bench-snapshot bench-check load-smoke experiments experiments-paper chaos crash-trials cover fuzz clean
+.PHONY: all build test vet race race-obs race-wal race-stream bench bench-dsp bench-snapshot bench-check load-smoke experiments experiments-paper chaos crash-trials cover fuzz clean
 
 all: build vet test
 
@@ -30,6 +30,14 @@ race-obs:
 race-wal:
 	$(GO) test -race -run 'TestCrashPoint|TestRunCrashTrial|TestCrashWriter|TestWAL|TestDurable' -count=1 ./internal/store/ ./internal/chaos/ ./internal/gateway/
 
+# The streaming analysis path under the race detector: concurrent
+# ingest folds, trend assembly and checkpoints on one live state, the
+# WAL-replay rebuild, and the engine-level equivalence tests (-short
+# keeps the property trial count bounded).
+race-stream:
+	$(GO) test -race -run 'TestLiveConcurrentIngestTrendCheckpoint|TestWarmFromWALReplay' -count=1 ./internal/stream/
+	$(GO) test -race -short -run 'TestLive' -count=1 .
+
 # One testing.B per paper table/figure (bench_test.go) plus DSP
 # micro-benches.
 bench:
@@ -38,21 +46,22 @@ bench:
 bench-dsp:
 	$(GO) test -bench=. -benchmem ./internal/dsp/
 
-# Refresh the committed hot-path snapshot. BENCH_PR5.json is the
-# current full-suite snapshot (PR2/PR4 cases included, WAL cases
-# added); BENCH_PR2.json / BENCH_PR4.json are kept as the historical
-# records of the earlier passes. Volatile cases (per-op fsync) run but
-# are excluded from the written file.
+# Refresh the committed hot-path snapshot. BENCH_PR6.json is the
+# current full-suite snapshot (PR2/PR4/PR5 cases plus the streaming
+# LiveIngest/LiveTrend cases); BENCH_PR2.json / BENCH_PR4.json /
+# BENCH_PR5.json are kept as the historical records of the earlier
+# passes. Volatile cases (per-op fsync) run but are excluded from the
+# written file.
 bench-snapshot:
-	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR5.json
+	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR6.json
 
 # Re-run the hot-path suite once and fail if any case drifts more than
 # ±30% from the committed snapshot (or regresses its allocation count).
-# BENCH_PR5.json covers the full suite with numbers this machine can
+# BENCH_PR6.json covers the full suite with numbers this machine can
 # currently reproduce; -benchgate accepts a comma-separated list when
 # gating several snapshots at once.
 bench-check:
-	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR5.json
+	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR6.json
 
 # End-to-end throughput smoke: boot vibed -simulate, drive it with the
 # vibebench closed-loop read mix, and fail unless requests succeed.
@@ -80,12 +89,13 @@ crash-trials:
 cover:
 	$(GO) test -cover ./...
 
-# Short fuzz bursts over the binary codec, the WAL frame decoder, and
-# the transport protocol.
+# Short fuzz bursts over the binary codec, the WAL frame decoder, the
+# transport protocol, and the live ingest fold path.
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/store/
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=30s ./internal/store/
 	$(GO) test -fuzz=FuzzTransfer -fuzztime=30s ./internal/flush/
+	$(GO) test -fuzz=FuzzLiveIngest -fuzztime=30s ./internal/stream/
 
 clean:
 	$(GO) clean ./...

@@ -197,7 +197,12 @@ func benchSuite() ([]benchCase, error) {
 		}},
 	}
 	cases = append(cases, benchSuitePR4()...)
-	return append(cases, benchSuitePR5()...), nil
+	cases = append(cases, benchSuitePR5()...)
+	pr6, err := benchSuitePR6()
+	if err != nil {
+		return nil, err
+	}
+	return append(cases, pr6...), nil
 }
 
 // baselineFor looks a case up across the per-PR baseline maps.
@@ -206,6 +211,9 @@ func baselineFor(name string) (benchResult, bool) {
 		return base, true
 	}
 	if base, ok := prePR4Baseline[name]; ok {
+		return base, true
+	}
+	if base, ok := prePR6Baseline[name]; ok {
 		return base, true
 	}
 	return benchResult{}, false
@@ -226,10 +234,30 @@ func runBenchSuite() (*benchSnapshot, []string, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Results:    make(map[string]benchResult, len(suite)),
 	}
-	for _, c := range suite {
-		r := testing.Benchmark(c.run)
+	nsPerOp := func(r testing.BenchmarkResult) float64 {
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	// Two full passes over the suite, keeping each case's faster run:
+	// the gate compares point estimates, and on shared/virtualized
+	// hardware the host CPU oscillates between fast and slow phases
+	// lasting seconds to minutes. Back-to-back repeats of one case land
+	// in the same phase, so the second sample is taken a full suite
+	// pass later — minutes apart — and the per-case minimum estimates
+	// the code's cost rather than the machine's mood, on both sides of
+	// the comparison.
+	best := make([]testing.BenchmarkResult, len(suite))
+	for pass := 0; pass < 2; pass++ {
+		for i, c := range suite {
+			r := testing.Benchmark(c.run)
+			if pass == 0 || nsPerOp(r) < nsPerOp(best[i]) {
+				best[i] = r
+			}
+		}
+	}
+	for i, c := range suite {
+		r := best[i]
 		res := benchResult{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			NsPerOp:     nsPerOp(r),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}

@@ -136,6 +136,13 @@ func main() {
 	}
 
 	eng := vibepm.NewWithStores(vibepm.Options{}, measurements, labels)
+	// The incremental analysis path: fold every recovered measurement
+	// once up front (the warm-up), then keep the cache current from the
+	// ingest endpoint, so trend and fleet queries stay O(new data).
+	live := eng.EnableLive()
+	warmStart := time.Now()
+	warmed := eng.WarmLive()
+	logger.Info("live state warmed", "records", warmed, "took", time.Since(warmStart).String())
 	if err := eng.Fit(); err != nil {
 		logger.Error("fit failed", "err", err)
 		os.Exit(1)
@@ -145,7 +152,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/api/v1/analysis/", restapi.NewAnalysis(eng, ageOf))
-	apiOpts := []restapi.Option{restapi.WithMaxBodyBytes(*maxBodyBytes)}
+	apiOpts := []restapi.Option{restapi.WithMaxBodyBytes(*maxBodyBytes), restapi.WithLive(live)}
 	if durable != nil {
 		apiOpts = append(apiOpts, restapi.WithDurable(durable))
 	}

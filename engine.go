@@ -14,6 +14,7 @@ import (
 	"vibepm/internal/physics"
 	"vibepm/internal/preprocess"
 	"vibepm/internal/store"
+	"vibepm/internal/stream"
 )
 
 // Options configures an Engine. The zero value selects the paper's
@@ -73,6 +74,13 @@ type Engine struct {
 	// pumps concurrently.
 	trendMu    sync.Mutex
 	trendCache map[int]trendCacheEntry
+
+	// live, when non-nil, is the incremental feature cache: expensive
+	// per-record transforms (PSD, harmonic peaks, D_a) are folded once —
+	// at ingest on the live path, lazily on first analysis otherwise —
+	// and every later trend rebuild reads cached scalars. The results
+	// are bit-identical to the batch path (see internal/stream).
+	live *stream.LiveState
 }
 
 type trendCacheEntry struct {
@@ -113,6 +121,9 @@ func (e *Engine) Labels() *Labels { return e.labels }
 // on.
 func (e *Engine) Ingest(rec *Record) {
 	e.measurements.Add(rec)
+	if e.live != nil {
+		e.live.Fold(rec)
+	}
 }
 
 // AddLabel adds one expert label.
@@ -178,12 +189,27 @@ func (e *Engine) Fit() error {
 	// Algorithm 1 normalizes by the dataset-global peak maxima, so scan
 	// the whole labelled corpus (worn spectra included) before scoring.
 	// Feature extraction dominates Fit's cost and is embarrassingly
-	// parallel.
-	features := par.Map(len(pairs), 0, func(i int) feature.Harmonic {
-		return feature.HarmonicOfRecord(pairs[i].rec, e.opts.Harmonic)
-	})
+	// parallel; with a live state attached the scan is served from the
+	// ingest-time fold cache instead.
+	var features []feature.Harmonic
+	if e.live != nil {
+		labelled := make([]*Record, len(pairs))
+		for i, p := range pairs {
+			labelled[i] = p.rec
+		}
+		features = e.live.Harmonics(labelled, e.opts.Harmonic)
+	} else {
+		features = par.Map(len(pairs), 0, func(i int) feature.Harmonic {
+			return feature.HarmonicOfRecord(pairs[i].rec, e.opts.Harmonic)
+		})
+	}
 	baseline.SetNormalizers(features...)
 	e.baseline = baseline
+	if e.live != nil {
+		// Install only once the normalizers are set: folds score D_a
+		// against the installed baseline at ingest time.
+		e.live.SetBaseline(baseline)
+	}
 
 	samples := make([]core.Sample, 0, len(pairs))
 	for i, p := range pairs {
@@ -242,6 +268,9 @@ func (e *Engine) Da(rec *Record) (float64, error) {
 	if e.baseline == nil {
 		return 0, ErrNotFitted
 	}
+	if e.live != nil {
+		return e.live.Da(rec, e.baseline)
+	}
 	return e.baseline.Da(rec)
 }
 
@@ -251,7 +280,7 @@ func (e *Engine) Classify(rec *Record) (Zone, map[Zone]float64, error) {
 	if !e.Fitted() {
 		return ZoneUnknown, nil, ErrNotFitted
 	}
-	da, err := e.baseline.Da(rec)
+	da, err := e.Da(rec)
 	if err != nil {
 		return ZoneUnknown, nil, err
 	}
@@ -299,30 +328,45 @@ func (e *Engine) CleanTrend(pumpID int, ageOf AgeFunc) ([]TrendPoint, error) {
 	}
 	start := time.Now()
 	defer func() { metAnalyzeTrend.Observe(time.Since(start).Seconds()) }()
-	validIdx, _, err := preprocess.DetectOutliers(recs, preprocess.OutlierConfig{Bandwidth: e.opts.OutlierBandwidth})
-	if err != nil {
-		return nil, err
-	}
-	sort.Ints(validIdx)
-	type scored struct {
-		day float64
-		da  float64
-		ok  bool
-	}
-	results := par.Map(len(validIdx), 0, func(i int) scored {
-		rec := recs[validIdx[i]]
-		da, err := e.baseline.Da(rec)
+	var days, das []float64
+	if e.live != nil {
+		// Incremental path: per-record transforms come from the live
+		// cache; only the cheap global passes (mean shift over the 3-D
+		// offsets, smoothing) run over the full series. Values are
+		// bit-identical to the batch branch below.
+		feats := e.live.Ensure(pumpID, recs)
+		validIdx, _, err := preprocess.DetectOutliersPoints(stream.OffsetRowsOf(feats), preprocess.OutlierConfig{Bandwidth: e.opts.OutlierBandwidth})
 		if err != nil {
-			return scored{}
+			return nil, err
 		}
-		return scored{day: rec.ServiceDays, da: da, ok: true}
-	})
-	days := make([]float64, 0, len(validIdx))
-	das := make([]float64, 0, len(validIdx))
-	for _, r := range results {
-		if r.ok {
-			days = append(days, r.day)
-			das = append(das, r.da)
+		sort.Ints(validIdx)
+		days, das = e.live.DaSeries(pumpID, recs, feats, validIdx, e.baseline)
+	} else {
+		validIdx, _, err := preprocess.DetectOutliers(recs, preprocess.OutlierConfig{Bandwidth: e.opts.OutlierBandwidth})
+		if err != nil {
+			return nil, err
+		}
+		sort.Ints(validIdx)
+		type scored struct {
+			day float64
+			da  float64
+			ok  bool
+		}
+		results := par.Map(len(validIdx), 0, func(i int) scored {
+			rec := recs[validIdx[i]]
+			da, err := e.baseline.Da(rec)
+			if err != nil {
+				return scored{}
+			}
+			return scored{day: rec.ServiceDays, da: da, ok: true}
+		})
+		days = make([]float64, 0, len(validIdx))
+		das = make([]float64, 0, len(validIdx))
+		for _, r := range results {
+			if r.ok {
+				days = append(days, r.day)
+				das = append(das, r.da)
+			}
 		}
 	}
 	if len(days) == 0 {

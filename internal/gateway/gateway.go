@@ -33,6 +33,7 @@ import (
 	"vibepm/internal/par"
 	"vibepm/internal/sched"
 	"vibepm/internal/store"
+	"vibepm/internal/stream"
 )
 
 // RetryConfig bounds the gateway's transfer and store-write retries.
@@ -164,6 +165,11 @@ type Config struct {
 	Breaker BreakerConfig
 	// Faults, when non-nil, injects faults at the named points.
 	Faults Faults
+	// Live, when non-nil, receives a feature fold for every acknowledged
+	// ingest — the incremental analysis path: a record's expensive
+	// transforms run once here, right after the (durable) write is
+	// acked, so trend queries stay O(new data).
+	Live *stream.LiveState
 	// Workers caps the goroutines Advance fans out across motes
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Workers int
@@ -545,6 +551,16 @@ func (s *Server) transferWithRetry(e *entry, payload []byte, corrupt func([]byte
 // (WAL append before the memory apply — the ack point) or straight
 // into the in-memory store otherwise.
 func (s *Server) ingest(rec *store.Record) (bool, error) {
+	stored, err := s.ingestStore(rec)
+	if stored && err == nil && s.cfg.Live != nil {
+		// Fold only after the ack: the live cache must never hold
+		// features for a record the store rejected or the WAL lost.
+		s.cfg.Live.Fold(rec)
+	}
+	return stored, err
+}
+
+func (s *Server) ingestStore(rec *store.Record) (bool, error) {
 	if s.durable != nil {
 		return s.durable.AddUnique(rec)
 	}

@@ -59,7 +59,18 @@ func DetectOutliers(recs []*store.Record, cfg OutlierConfig) (valid, invalid []i
 	if len(recs) == 0 {
 		return nil, nil, ErrNoMeasurements
 	}
-	points := Averages(recs)
+	return DetectOutliersPoints(Averages(recs), cfg)
+}
+
+// DetectOutliersPoints is DetectOutliers over already-extracted
+// per-measurement average points — the entry point of the incremental
+// analysis path, which serves the averages from its per-record feature
+// cache instead of re-touching raw waveforms. The clustering is
+// identical to DetectOutliers over the records the points came from.
+func DetectOutliersPoints(points [][]float64, cfg OutlierConfig) (valid, invalid []int, err error) {
+	if len(points) == 0 {
+		return nil, nil, ErrNoMeasurements
+	}
 	bw := cfg.Bandwidth
 	if bw <= 0 {
 		bw = adaptiveBandwidth(points)

@@ -137,6 +137,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ingestAccepted.Inc()
+	if s.live != nil {
+		// Fold only after the ack: on the durable path the WAL frame is
+		// on disk by now, so the cache never holds features for a record
+		// a crash could lose.
+		s.live.Fold(rec)
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"pump_id": rec.PumpID, "service_days": rec.ServiceDays, "samples": k,
 	})

@@ -16,6 +16,7 @@ import (
 
 	"vibepm/internal/obs"
 	"vibepm/internal/store"
+	"vibepm/internal/stream"
 	"vibepm/internal/transform"
 )
 
@@ -34,6 +35,7 @@ type Server struct {
 	mux          *http.ServeMux
 	metrics      *obs.Registry
 	maxBodyBytes int64
+	live         *stream.LiveState
 
 	// pyramids caches the per-series downsample pyramid; respCache
 	// holds fully serialized trend responses, both keyed on the series
@@ -74,6 +76,15 @@ func WithMaxBodyBytes(n int64) Option {
 // instead of acking data that would not survive a restart.
 func WithDurable(d *store.Durable) Option {
 	return func(s *Server) { s.durable = d }
+}
+
+// WithLive attaches the incremental feature cache: each accepted
+// ingest folds its record's features right after the ack, and the
+// trend endpoint reads per-record metrics from the cache instead of
+// re-transforming raw waveforms on every pyramid rebuild. Values are
+// bit-identical to the uncached path.
+func WithLive(ls *stream.LiveState) Option {
+	return func(s *Server) { s.live = ls }
 }
 
 // New builds the API server. labels and periods may be nil, disabling

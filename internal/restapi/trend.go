@@ -111,7 +111,16 @@ func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
 	if metric == "" {
 		metric = "rms"
 	}
-	fn, ok := trendMetricFor(metric)
+	var fn func(*store.Record) float64
+	var ok bool
+	if s.live != nil {
+		// Cache-served metrics: a pyramid rebuild after a warm-up reads
+		// precomputed scalars instead of re-running the per-record
+		// transforms. Values match trendMetricFor exactly.
+		fn, ok = s.live.MetricFunc(metric)
+	} else {
+		fn, ok = trendMetricFor(metric)
+	}
 	if !ok {
 		writeErr(w, http.StatusBadRequest, "unknown metric %q (want rms or vrms)", metric)
 		return

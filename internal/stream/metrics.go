@@ -1,0 +1,13 @@
+package stream
+
+import "vibepm/internal/obs"
+
+// Process-wide live-state metrics on the default registry, following
+// the store package's convention: resolved once at init so the fold
+// and lookup hot paths pay only atomic adds.
+var (
+	metFolds     = obs.Default.Counter("vibepm_stream_folds_total")
+	metHits      = obs.Default.Counter("vibepm_stream_cache_hits_total")
+	metMisses    = obs.Default.Counter("vibepm_stream_cache_misses_total")
+	metEvictions = obs.Default.Counter("vibepm_stream_evictions_total")
+)

@@ -113,7 +113,14 @@ func PSDInto(freq, psd []float64, rec *store.Record) ([]float64, []float64) {
 		// acceleration can feed it directly.
 		sc.g = CountsToGInto(sc.g, rec.Raw[axis], rec.ScaleG)
 		sc.s = dsp.PSDDCTInto(sc.s, sc.g)
-		for i, v := range sc.s {
+		// A malformed record can carry unequal axis lengths; fold only
+		// the bins that exist on the combined grid instead of indexing
+		// past it. Well-formed records are unaffected.
+		n := len(sc.s)
+		if n > k {
+			n = k
+		}
+		for i, v := range sc.s[:n] {
 			psd[i] += v
 		}
 	}
@@ -187,13 +194,21 @@ func VelocityPSD(freq, accelPSD []float64) []float64 {
 // mm/s RMS, integrated over the band [loHz, hiHz] (pass 0, 0 for the
 // ISO-standard 10 Hz to 1 kHz band).
 func VelocityRMS(rec *store.Record, loHz, hiHz float64) float64 {
+	freq, psd := PSD(rec)
+	return VelocityRMSFromPSD(freq, psd, loHz, hiHz)
+}
+
+// VelocityRMSFromPSD is VelocityRMS over an already-computed
+// acceleration PSD — the entry point for callers (such as the
+// incremental analysis path) that extract the PSD once per record and
+// derive every spectral feature from it.
+func VelocityRMSFromPSD(freq, psd []float64, loHz, hiHz float64) float64 {
 	if loHz <= 0 {
 		loHz = 10
 	}
 	if hiHz <= 0 {
 		hiHz = 1000
 	}
-	freq, psd := PSD(rec)
 	vel := VelocityPSD(freq, psd)
 	var sum float64
 	for i := range vel {
