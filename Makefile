@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs race-wal race-stream bench bench-dsp bench-snapshot bench-check load-smoke experiments experiments-paper chaos crash-trials cover fuzz clean
+.PHONY: all build test vet race race-obs race-wal race-stream race-cluster bench bench-dsp bench-snapshot bench-check load-smoke load-cluster experiments experiments-paper chaos crash-trials cover fuzz clean
 
 all: build vet test
 
@@ -38,6 +38,14 @@ race-stream:
 	$(GO) test -race -run 'TestLiveConcurrentIngestTrendCheckpoint|TestWarmFromWALReplay' -count=1 ./internal/stream/
 	$(GO) test -race -short -run 'TestLive' -count=1 .
 
+# The clustering suite under the race detector: the node-kill
+# crash-point sweep (acked ⊆ recovered cluster-wide after failover),
+# concurrent ingest across the routing/failover lock handoff, and the
+# replication mirror tests (-short bounds the sweep's trial count).
+race-cluster:
+	$(GO) test -race -short -run 'TestCluster|TestRouter|TestRing' -count=1 ./internal/cluster/
+	$(GO) test -race -run 'TestMirror|TestOnFrame' -count=1 ./internal/store/
+
 # One testing.B per paper table/figure (bench_test.go) plus DSP
 # micro-benches.
 bench:
@@ -46,27 +54,33 @@ bench:
 bench-dsp:
 	$(GO) test -bench=. -benchmem ./internal/dsp/
 
-# Refresh the committed hot-path snapshot. BENCH_PR6.json is the
-# current full-suite snapshot (PR2/PR4/PR5 cases plus the streaming
-# LiveIngest/LiveTrend cases); BENCH_PR2.json / BENCH_PR4.json /
-# BENCH_PR5.json are kept as the historical records of the earlier
-# passes. Volatile cases (per-op fsync) run but are excluded from the
-# written file.
+# Refresh the committed hot-path snapshot. BENCH_PR7.json is the
+# current full-suite snapshot (PR2/PR4/PR5/PR6 cases plus the
+# clustering RingRoute/ClusterIngest/SegmentShip cases); the earlier
+# BENCH_PR*.json files are kept as the historical records of the
+# earlier passes. Volatile cases (per-op fsync) run but are excluded
+# from the written file.
 bench-snapshot:
-	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR6.json
+	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR7.json
 
 # Re-run the hot-path suite once and fail if any case drifts more than
 # ±30% from the committed snapshot (or regresses its allocation count).
-# BENCH_PR6.json covers the full suite with numbers this machine can
+# BENCH_PR7.json covers the full suite with numbers this machine can
 # currently reproduce; -benchgate accepts a comma-separated list when
-# gating several snapshots at once.
+# gating several snapshots at once. Failures print a per-case diff
+# (seed value, measured value, ratio).
 bench-check:
-	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR6.json
+	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR7.json
 
 # End-to-end throughput smoke: boot vibed -simulate, drive it with the
 # vibebench closed-loop read mix, and fail unless requests succeed.
 load-smoke:
 	./scripts/load_smoke.sh
+
+# Multi-node closed loop: boot 3 in-process cluster nodes behind the
+# consistent-hash router and report per-node req/s and p99.
+load-cluster:
+	$(GO) run ./cmd/vibebench -load -load-nodes 3 -load-duration 5s
 
 # Regenerate every table and figure at the default (medium) scale.
 experiments:
@@ -96,6 +110,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=30s ./internal/store/
 	$(GO) test -fuzz=FuzzTransfer -fuzztime=30s ./internal/flush/
 	$(GO) test -fuzz=FuzzLiveIngest -fuzztime=30s ./internal/stream/
+	$(GO) test -fuzz=FuzzRingRoute -fuzztime=30s ./internal/cluster/
 
 clean:
 	$(GO) clean ./...

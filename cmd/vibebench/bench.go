@@ -202,7 +202,8 @@ func benchSuite() ([]benchCase, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(cases, pr6...), nil
+	cases = append(cases, pr6...)
+	return append(cases, benchSuitePR7()...), nil
 }
 
 // baselineFor looks a case up across the per-PR baseline maps.
@@ -278,44 +279,73 @@ func runBenchSuite() (*benchSnapshot, []string, error) {
 	return snap, volatile, nil
 }
 
+// gateDiff is one gate violation with everything a CI log needs to
+// debug the regression without rerunning: the case, the metric, the
+// committed (seed) value, the value just measured, and their ratio.
+type gateDiff struct {
+	name     string
+	metric   string
+	seed     float64
+	measured float64
+	allowed  float64
+}
+
+func (d gateDiff) String() string {
+	if d.seed == 0 {
+		return fmt.Sprintf("  %-24s %s", d.name, d.metric)
+	}
+	return fmt.Sprintf("  %-24s %-9s seed %14.0f  measured %14.0f  ratio %.2fx (allowed %.2fx)",
+		d.name, d.metric, d.seed, d.measured, d.measured/d.seed, d.allowed/d.seed)
+}
+
 // gateSnapshot compares a fresh run against the committed snapshot.
 // A case slower than (1+tol)× the committed time, allocating beyond the
 // committed count (with a small slack for pool refills), or missing
-// entirely fails the gate. Improvements beyond tol are reported as a
-// hint to refresh the snapshot but do not fail.
+// entirely fails the gate; the returned error carries a per-case diff
+// (name, seed value, measured value, ratio) so the regression is
+// debuggable from the gate output alone. Improvements beyond tol are
+// reported as a hint to refresh the snapshot but do not fail.
 func gateSnapshot(current, committed *benchSnapshot, tol float64) error {
 	names := make([]string, 0, len(committed.Results))
 	for name := range committed.Results {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var failures int
+	var diffs []gateDiff
 	for _, name := range names {
 		com := committed.Results[name]
 		cur, ok := current.Results[name]
 		if !ok {
-			fmt.Printf("GATE FAIL %-20s missing from current suite\n", name)
-			failures++
+			diffs = append(diffs, gateDiff{name: name, metric: "missing from current suite"})
 			continue
 		}
+		nsAllowed := com.NsPerOp * (1 + tol)
 		switch {
-		case cur.NsPerOp > com.NsPerOp*(1+tol):
-			fmt.Printf("GATE FAIL %-20s %.0f ns/op vs committed %.0f (+%.0f%% > +%.0f%%)\n",
-				name, cur.NsPerOp, com.NsPerOp, 100*(cur.NsPerOp/com.NsPerOp-1), 100*tol)
-			failures++
+		case cur.NsPerOp > nsAllowed:
+			diffs = append(diffs, gateDiff{
+				name: name, metric: "ns/op",
+				seed: com.NsPerOp, measured: cur.NsPerOp, allowed: nsAllowed,
+			})
 		case cur.NsPerOp < com.NsPerOp*(1-tol):
 			fmt.Printf("GATE NOTE %-20s %.0f ns/op vs committed %.0f — faster by more than %.0f%%; refresh the snapshot\n",
 				name, cur.NsPerOp, com.NsPerOp, 100*tol)
 		}
 		allowed := int64(float64(com.AllocsPerOp)*(1+tol)) + 2
 		if cur.AllocsPerOp > allowed {
-			fmt.Printf("GATE FAIL %-20s %d allocs/op vs committed %d (allowed %d)\n",
-				name, cur.AllocsPerOp, com.AllocsPerOp, allowed)
-			failures++
+			diffs = append(diffs, gateDiff{
+				name: name, metric: "allocs/op",
+				seed: float64(com.AllocsPerOp), measured: float64(cur.AllocsPerOp), allowed: float64(allowed),
+			})
 		}
 	}
-	if failures > 0 {
-		return fmt.Errorf("benchmark gate: %d failure(s) beyond ±%.0f%% tolerance", failures, 100*tol)
+	if len(diffs) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "benchmark gate: %d case(s) beyond ±%.0f%% tolerance:\n", len(diffs), 100*tol)
+		for _, d := range diffs {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return fmt.Errorf("%s", strings.TrimRight(b.String(), "\n"))
 	}
 	return nil
 }
@@ -369,7 +399,7 @@ func runBenchCommand(outPath, gatePaths string, tol float64) int {
 			return 1
 		}
 		if err := gateSnapshot(snap, &committed, tol); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "bench gate vs %s:\n%v\n", gatePath, err)
 			return 1
 		}
 		fmt.Printf("benchmark gate passed (±%.0f%% vs %s)\n", 100*tol, gatePath)

@@ -34,11 +34,15 @@ var defaultLoadPaths = []string{
 	"/api/v1/healthz",
 }
 
-// loadResult aggregates one worker's outcomes.
+// loadResult aggregates one worker's outcomes. perNode buckets the
+// latencies by the serving node when the target reports one (the
+// cluster router's X-Vibepm-Node header); a plain vibed leaves it
+// empty.
 type loadResult struct {
 	ok        int
 	errs      int
 	latencies []time.Duration
+	perNode   map[string][]time.Duration
 }
 
 // quantile returns the q-quantile (0..1) of sorted latencies.
@@ -58,14 +62,28 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 
 // runLoadCommand implements -load: hammer a live vibed with the
 // read-side request mix and report req/s plus latency quantiles.
-// Returns the process exit code; zero successful requests is a
-// failure, which is what the load-smoke make target asserts.
-func runLoadCommand(baseURL string, concurrency int, duration time.Duration, pathsCSV string) int {
+// With nodes > 1 the target is not a remote server but N in-process
+// cluster nodes behind the consistent-hash router, booted and seeded
+// here, and the report breaks req/s and p99 down per node. Returns the
+// process exit code; zero successful requests is a failure, which is
+// what the load-smoke make target asserts.
+func runLoadCommand(baseURL string, nodes, concurrency int, duration time.Duration, pathsCSV string) int {
 	cfg := loadConfig{
 		baseURL:     strings.TrimRight(baseURL, "/"),
 		concurrency: concurrency,
 		duration:    duration,
 		paths:       defaultLoadPaths,
+	}
+	if nodes > 1 {
+		url, paths, shutdown, err := bootClusterTarget(nodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: boot %d-node cluster: %v\n", nodes, err)
+			return 1
+		}
+		defer shutdown()
+		cfg.baseURL = url
+		cfg.paths = paths
+		fmt.Printf("load: booted %d in-process cluster nodes at %s\n", nodes, url)
 	}
 	if pathsCSV != "" {
 		cfg.paths = nil
@@ -125,7 +143,14 @@ func runLoadCommand(baseURL string, concurrency int, duration time.Duration, pat
 					continue
 				}
 				res.ok++
-				res.latencies = append(res.latencies, time.Since(t0))
+				lat := time.Since(t0)
+				res.latencies = append(res.latencies, lat)
+				if node := resp.Header.Get(nodeHeader); node != "" {
+					if res.perNode == nil {
+						res.perNode = make(map[string][]time.Duration)
+					}
+					res.perNode[node] = append(res.perNode[node], lat)
+				}
 			}
 		}(w)
 	}
@@ -136,10 +161,14 @@ func runLoadCommand(baseURL string, concurrency int, duration time.Duration, pat
 
 	var ok, errs int
 	var all []time.Duration
+	perNode := make(map[string][]time.Duration)
 	for _, r := range results {
 		ok += r.ok
 		errs += r.errs
 		all = append(all, r.latencies...)
+		for node, lats := range r.perNode {
+			perNode[node] = append(perNode[node], lats...)
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	reqPerSec := float64(ok) / elapsed.Seconds()
@@ -153,6 +182,21 @@ func runLoadCommand(baseURL string, concurrency int, duration time.Duration, pat
 			quantile(all, 0.90).Round(time.Microsecond),
 			quantile(all, 0.99).Round(time.Microsecond),
 			all[len(all)-1].Round(time.Microsecond))
+	}
+	if len(perNode) > 0 {
+		names := make([]string, 0, len(perNode))
+		for node := range perNode {
+			names = append(names, node)
+		}
+		sort.Strings(names)
+		for _, node := range names {
+			lats := perNode[node]
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			fmt.Printf("  node %-8s %6d ok (%.1f req/s)  p50 %s  p99 %s\n",
+				node, len(lats), float64(len(lats))/elapsed.Seconds(),
+				quantile(lats, 0.50).Round(time.Microsecond),
+				quantile(lats, 0.99).Round(time.Microsecond))
+		}
 	}
 	if ok == 0 {
 		fmt.Fprintln(os.Stderr, "load: no successful requests")

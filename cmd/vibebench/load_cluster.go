@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"vibepm/internal/cluster"
+	"vibepm/internal/restapi"
+	"vibepm/internal/store"
+)
+
+// nodeHeader is the serving-node response header the router stamps;
+// the load loop uses it to attribute each request to its node.
+const nodeHeader = cluster.NodeHeader
+
+// clusterLoadPumps is the fleet the in-process cluster target seeds:
+// enough pumps that every node owns a share of the key space.
+const clusterLoadPumps = 40
+
+// bootClusterTarget starts N in-process vibed-style nodes behind the
+// consistent-hash router on a loopback listener — the multi-node
+// closed-loop target of `vibebench -load -load-nodes N`. It seeds a
+// fleet so the read mix has data to serve, and returns the base URL, a
+// request mix that touches every node (one trend panel per member,
+// pinned via ring ownership), and a teardown.
+func bootClusterTarget(nodes int) (baseURL string, paths []string, shutdown func(), err error) {
+	dir, err := os.MkdirTemp("", "vibebench-cluster-*")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i+1)
+	}
+	c, err := cluster.Open(dir, names, cluster.Options{
+		WAL: store.WALOptions{Policy: store.SyncNever},
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, nil, fmt.Errorf("open cluster: %w", err)
+	}
+	rt := cluster.NewRouter(c.Ring(), c.Status)
+	for _, name := range names {
+		n := c.Node(name)
+		api := restapi.New(n.Durable().Store(), nil, nil, restapi.WithDurable(n.Durable()))
+		rt.SetNode(name, api, "")
+	}
+
+	// Seed: 50 captures per pump, routed to their owners like any
+	// ingest, so trend panels have series to fold.
+	rng := rand.New(rand.NewSource(11))
+	for pump := 0; pump < clusterLoadPumps; pump++ {
+		for i := 0; i < 50; i++ {
+			raw := make([]int16, 64)
+			for j := range raw {
+				raw[j] = int16(rng.Intn(4096) - 2048)
+			}
+			rec := &store.Record{
+				PumpID:       pump,
+				ServiceDays:  float64(i) * 0.5,
+				SampleRateHz: 4000,
+				ScaleG:       0.003,
+				Raw:          [3][]int16{raw, raw, raw},
+			}
+			if _, _, err := c.Ingest(rec); err != nil {
+				c.Close()
+				os.RemoveAll(dir)
+				return "", nil, nil, fmt.Errorf("seed pump %d: %w", pump, err)
+			}
+		}
+	}
+
+	// One trend panel per node: walk the pump space and keep the first
+	// pump each member owns, so the mix exercises every node's data
+	// path, not just whichever members the low pump ids hash to.
+	paths = []string{"/api/v1/pumps", "/api/v1/cluster/status", "/api/v1/healthz"}
+	seen := make(map[string]bool, nodes)
+	for pump := 0; pump < clusterLoadPumps && len(seen) < nodes; pump++ {
+		owner := c.Ring().Route(pump)
+		if owner == "" || seen[owner] {
+			continue
+		}
+		seen[owner] = true
+		paths = append(paths, fmt.Sprintf("/api/v1/pumps/%d/trend?points=256", pump))
+		paths = append(paths, fmt.Sprintf("/api/v1/pumps/%d/measurements", pump))
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.Close()
+		os.RemoveAll(dir)
+		return "", nil, nil, err
+	}
+	srv := &http.Server{Handler: rt, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		c.Close()
+		os.RemoveAll(dir)
+	}
+	return "http://" + ln.Addr().String(), paths, shutdown, nil
+}

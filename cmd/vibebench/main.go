@@ -25,6 +25,9 @@
 //	                                          # closed-loop read-mix load,
 //	                                          # reports req/s + p50/p90/p99,
 //	                                          # exit 1 on zero successes
+//	vibebench -load -load-nodes 3             # boot 3 in-process cluster
+//	                                          # nodes behind the hash router
+//	                                          # and report per-node req/s+p99
 package main
 
 import (
@@ -101,6 +104,7 @@ func main() {
 		benchTol  = flag.Float64("benchtol", 0.30, "relative tolerance for -benchgate")
 		load      = flag.Bool("load", false, "drive a live vibed with the read-side request mix and report req/s + latency quantiles")
 		loadURL   = flag.String("load-url", "http://127.0.0.1:8080", "base URL of the vibed instance for -load")
+		loadNodes = flag.Int("load-nodes", 0, "boot N in-process cluster nodes as the -load target instead of -load-url; reports per-node req/s and p99")
 		loadConc  = flag.Int("load-concurrency", 4, "concurrent workers for -load")
 		loadDur   = flag.Duration("load-duration", 5*time.Second, "measurement window for -load")
 		loadPaths = flag.String("load-paths", "", "comma-separated request paths for -load (default: built-in dashboard mix)")
@@ -108,7 +112,7 @@ func main() {
 	flag.Parse()
 
 	if *load {
-		os.Exit(runLoadCommand(*loadURL, *loadConc, *loadDur, *loadPaths))
+		os.Exit(runLoadCommand(*loadURL, *loadNodes, *loadConc, *loadDur, *loadPaths))
 	}
 	if *bench || *benchOut != "" || *benchGate != "" {
 		os.Exit(runBenchCommand(*benchOut, *benchGate, *benchTol))

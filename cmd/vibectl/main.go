@@ -8,6 +8,7 @@
 //	vibectl rul <pump>
 //	vibectl boundary
 //	vibectl period
+//	vibectl cluster status
 package main
 
 import (
@@ -49,6 +50,11 @@ func main() {
 		err = c.fleet()
 	case "period":
 		err = c.getJSON("/api/v1/period")
+	case "cluster":
+		if len(args) < 2 || args[1] != "status" {
+			usage()
+		}
+		err = c.clusterStatus()
 	default:
 		usage()
 	}
@@ -59,7 +65,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vibectl [-server URL] pumps | measurements <pump> | zone <pump> | rul <pump> | fleet | boundary | period")
+	fmt.Fprintln(os.Stderr, "usage: vibectl [-server URL] pumps | measurements <pump> | zone <pump> | rul <pump> | fleet | boundary | period | cluster status")
 	os.Exit(2)
 }
 
@@ -162,6 +168,49 @@ func (c *cli) measurements(pump int, from, to float64) error {
 		fmt.Printf("%-12.3f %-10.0f %-8d %-10.4f %+.3f %+.3f %+.3f\n",
 			m.ServiceDays, m.SampleRateHz, m.Samples, m.RMS,
 			m.Offsets[0], m.Offsets[1], m.Offsets[2])
+	}
+	return nil
+}
+
+// clusterStatus renders the membership table a `vibed -cluster`
+// router serves: per-node liveness, record counts, the replication
+// chain (who ships to whom), and the shipping counters.
+func (c *cli) clusterStatus() error {
+	body, err := c.get("/api/v1/cluster/status")
+	if err != nil {
+		return err
+	}
+	var v struct {
+		RingNodes []string `json:"ring_nodes"`
+		Live      int      `json:"live"`
+		Nodes     []struct {
+			Name          string   `json:"name"`
+			Alive         bool     `json:"alive"`
+			Records       int      `json:"records"`
+			WALSegment    int      `json:"wal_segment"`
+			ShipsTo       string   `json:"ships_to"`
+			FramesShipped uint64   `json:"frames_shipped"`
+			BytesShipped  uint64   `json:"bytes_shipped"`
+			MirrorsHosted []string `json:"mirrors_hosted"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return err
+	}
+	fmt.Printf("%d/%d nodes live, ring %v\n", v.Live, len(v.Nodes), v.RingNodes)
+	fmt.Printf("%-8s %-6s %-9s %-8s %-9s %-14s %-12s %s\n",
+		"node", "state", "records", "wal-seg", "ships-to", "frames-shipped", "bytes", "mirrors-hosted")
+	for _, n := range v.Nodes {
+		state := "live"
+		if !n.Alive {
+			state = "dead"
+		}
+		shipsTo := n.ShipsTo
+		if shipsTo == "" {
+			shipsTo = "-"
+		}
+		fmt.Printf("%-8s %-6s %-9d %-8d %-9s %-14d %-12d %v\n",
+			n.Name, state, n.Records, n.WALSegment, shipsTo, n.FramesShipped, n.BytesShipped, n.MirrorsHosted)
 	}
 	return nil
 }

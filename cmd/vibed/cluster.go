@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vibepm/internal/cluster"
+	"vibepm/internal/obs"
+	"vibepm/internal/restapi"
+	"vibepm/internal/store"
+)
+
+// runClusterMode serves N in-process vibed-style nodes behind the
+// consistent-hash router: each node owns a hash range of the pump
+// space, logs its ingests to its own WAL, and ships every frame
+// synchronously to its follower's mirror. One listener fronts the
+// whole cluster; requests land on their pump's owner, and
+// /api/v1/cluster/status reports membership, the replication chain,
+// and shipping counters. Returns the process exit code.
+func runClusterMode(addr, walDir, fsyncPolicy string, nodes int, maxBodyBytes int64, ckptEvery, syncEvery time.Duration, logger *obs.Logger) int {
+	if walDir == "" {
+		fmt.Fprintln(os.Stderr, "-cluster needs -wal-dir (each node keeps its own WAL under it)")
+		return 2
+	}
+	policy, err := store.ParseSyncPolicy(fsyncPolicy)
+	if err != nil {
+		logger.Error("bad -fsync", "err", err)
+		return 2
+	}
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i+1)
+	}
+	c, err := cluster.Open(walDir, names, cluster.Options{
+		WAL: store.WALOptions{Policy: policy},
+	})
+	if err != nil {
+		logger.Error("open cluster failed", "dir", walDir, "err", err)
+		return 1
+	}
+	rt := cluster.NewRouter(c.Ring(), c.Status)
+	for _, name := range names {
+		n := c.Node(name)
+		d := n.Durable()
+		d.StartCheckpointLoop(ckptEvery, syncEvery, func(err error) {
+			logger.Warn("durable background maintenance", "node", name, "err", err)
+		})
+		api := restapi.New(d.Store(), nil, nil,
+			restapi.WithDurable(d),
+			restapi.WithMaxBodyBytes(maxBodyBytes))
+		rt.SetNode(name, api, "")
+	}
+	st := c.Status()
+	for _, ns := range st.Nodes {
+		logger.Info("cluster node up", "node", ns.Name, "records", ns.Records, "ships_to", ns.ShipsTo)
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("cluster listening", "addr", addr, "nodes", nodes, "fsync", policy.String())
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		logger.Error("serve failed", "err", err)
+		return 1
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down", "grace", "10s")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown", "err", err)
+			return 1
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve", "err", err)
+			return 1
+		}
+		if err := c.Close(); err != nil {
+			logger.Error("cluster close", "err", err)
+			return 1
+		}
+		logger.Info("cluster stopped cleanly")
+	}
+	return 0
+}

@@ -10,6 +10,8 @@
 //	vibed -data data/           # serve a vibegen corpus on :8080
 //	vibed -simulate -addr :9000 # simulate a fresh corpus and serve it
 //	vibed -simulate -pprof      # also mount /debug/pprof/ handlers
+//	vibed -cluster 3 -wal-dir d # 3 in-process nodes, hash-routed ingest,
+//	                            # per-node WALs replicated to followers
 package main
 
 import (
@@ -46,10 +48,19 @@ func main() {
 		fsyncPolicy  = flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
 		ckptEvery    = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period for -wal-dir")
 		syncEvery    = flag.Duration("fsync-interval", time.Second, "WAL fsync period under -fsync interval")
+		clusterN     = flag.Int("cluster", 0, "run N in-process nodes behind consistent-hash routing (needs -wal-dir; data plane only)")
 	)
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
+
+	if *clusterN > 1 {
+		os.Exit(runClusterMode(*addr, *walDir, *fsyncPolicy, *clusterN, *maxBodyBytes, *ckptEvery, *syncEvery, logger))
+	}
+	if *clusterN != 0 {
+		fmt.Fprintln(os.Stderr, "-cluster needs at least 2 nodes")
+		os.Exit(2)
+	}
 
 	measurements := store.NewMeasurements()
 	labels := store.NewLabels()

@@ -1,0 +1,494 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vibepm/internal/store"
+)
+
+// Options parameterizes a cluster.
+type Options struct {
+	// VirtualNodes is the ring points per node (<= 0 = default).
+	VirtualNodes int
+	// WAL is the per-node WAL configuration. OnFrame/OnSeal are owned
+	// by the cluster (they carry replication) and must be nil.
+	WAL store.WALOptions
+	// WrapFileFor, when non-nil, supplies a per-node segment-file
+	// interposer — the chaos harness uses it to arm a crash budget on
+	// exactly one victim node.
+	WrapFileFor func(node string) func(path string, f *os.File) store.SegmentFile
+}
+
+// Node is one cluster member: a durable store plus the replication
+// sink it ships WAL frames to. The sink lives on the node's follower.
+type Node struct {
+	Name string
+	dir  string
+	d    *store.Durable
+
+	// sink is the follower-side mirror this node's OnFrame hook ships
+	// into; swapped atomically at retarget, nil when the node has no
+	// live follower.
+	sink atomic.Pointer[store.SegmentMirror]
+	// sinkHost names the node hosting the current sink ("" when nil).
+	sinkHost string
+
+	// hosted maps source node name -> the mirror of that node's WAL
+	// stored in this node's directory. Guarded by the cluster mutex.
+	hosted map[string]*store.SegmentMirror
+
+	alive bool
+}
+
+// Durable exposes the node's durable store (reads, tests, metrics).
+func (n *Node) Durable() *store.Durable { return n.d }
+
+// Alive reports liveness at the caller's snapshot; the cluster mutex
+// is the authority during membership changes.
+func (n *Node) Alive() bool { return n.alive }
+
+// Cluster is N in-process nodes behind one consistent-hash ring.
+// Membership changes (Kill, failover) hold the write lock; ingest and
+// status hold the read lock, so routing decisions never interleave
+// with a promotion half-way through.
+type Cluster struct {
+	mu    sync.RWMutex
+	dir   string
+	ring  *Ring
+	nodes map[string]*Node
+	order []string // boot order; fixes the follower chain
+	opts  Options
+}
+
+// ErrNoNode is returned when routing finds no live owner for a key.
+var ErrNoNode = errors.New("cluster: no live node for key")
+
+// Open boots a cluster of len(names) nodes rooted at dir, each node a
+// durable store in dir/<name>, recovery included: existing node
+// directories replay their snapshot+WAL exactly as a single vibed
+// would. With two or more nodes, node i synchronously replicates every
+// WAL frame to a mirror hosted on node i+1 (mod N, in boot order) —
+// an append is acked only after its frame reached both the local
+// segment and the follower's mirror file.
+func Open(dir string, names []string, opts Options) (*Cluster, error) {
+	if len(names) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	if opts.WAL.OnFrame != nil || opts.WAL.OnSeal != nil {
+		return nil, errors.New("cluster: WAL OnFrame/OnSeal are cluster-owned")
+	}
+	seen := make(map[string]struct{}, len(names))
+	for _, name := range names {
+		if name == "" {
+			return nil, errors.New("cluster: empty node name")
+		}
+		if _, dup := seen[name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", name)
+		}
+		seen[name] = struct{}{}
+	}
+	c := &Cluster{
+		dir:   dir,
+		ring:  NewRing(opts.VirtualNodes),
+		nodes: make(map[string]*Node, len(names)),
+		order: append([]string(nil), names...),
+		opts:  opts,
+	}
+	// Create the follower mirrors first: node i's durable store cannot
+	// open until the mirror it ships into exists.
+	for _, name := range names {
+		c.nodes[name] = &Node{
+			Name:   name,
+			dir:    filepath.Join(dir, name),
+			hosted: make(map[string]*store.SegmentMirror),
+			alive:  true,
+		}
+		c.ring.Add(name)
+	}
+	if len(names) > 1 {
+		for i, name := range names {
+			follower := c.nodes[names[(i+1)%len(names)]]
+			m, err := store.NewSegmentMirror(mirrorDir(follower.dir, name))
+			if err != nil {
+				return nil, err
+			}
+			follower.hosted[name] = m
+			c.nodes[name].sink.Store(m)
+			c.nodes[name].sinkHost = follower.Name
+		}
+	}
+	for _, name := range names {
+		n := c.nodes[name]
+		wopts := opts.WAL
+		if opts.WrapFileFor != nil {
+			wopts.WrapFile = opts.WrapFileFor(name)
+		}
+		wopts.OnFrame = func(seg int, frame []byte) error {
+			if s := n.sink.Load(); s != nil {
+				return s.AppendFrame(seg, frame)
+			}
+			return nil
+		}
+		wopts.OnSeal = func(seg int) {
+			if s := n.sink.Load(); s != nil {
+				// Seal errors only defer durability of the mirror's sealed
+				// segment to its next append/close sync; the primary's own
+				// seal already succeeded, so the ack contract stands.
+				_ = s.Seal(seg)
+			}
+		}
+		d, _, err := store.OpenDurable(n.dir, store.DurableOptions{WAL: wopts})
+		if err != nil {
+			c.abortAll()
+			return nil, fmt.Errorf("cluster: open node %s: %w", name, err)
+		}
+		n.d = d
+	}
+	metLiveNodes.Set(float64(len(names)))
+	return c, nil
+}
+
+// mirrorDir is where a host node keeps its mirror of src's WAL.
+func mirrorDir(hostDir, src string) string {
+	return filepath.Join(hostDir, "mirrors", src)
+}
+
+// Ring exposes the routing ring (shared with the HTTP router).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Dir returns the cluster root directory.
+func (c *Cluster) Dir() string { return c.dir }
+
+// Node returns a member by name (nil if unknown).
+func (c *Cluster) Node(name string) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[name]
+}
+
+// Owner returns the live node owning pump, or "" when none.
+func (c *Cluster) Owner(pump int) string {
+	return c.ring.Route(pump)
+}
+
+// Ingest routes rec to its owning node and appends it durably there,
+// returning the owner's name and whether the record landed (false =
+// idempotent duplicate). The nil-error contract is the single-node
+// one, now cluster-wide: the record's WAL frame reached the owner's
+// segment file and its follower's mirror before the ack.
+func (c *Cluster) Ingest(rec *store.Record) (string, bool, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	owner := c.ring.Route(rec.PumpID)
+	n := c.nodes[owner]
+	if n == nil || !n.alive {
+		return owner, false, ErrNoNode
+	}
+	stored, err := n.d.AddUnique(rec)
+	return owner, stored, err
+}
+
+// nextLiveLocked returns the first live node strictly after name in
+// the boot-order chain, excluding any in skip. "" when none.
+func (c *Cluster) nextLiveLocked(name string, skip ...string) string {
+	idx := -1
+	for i, o := range c.order {
+		if o == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return ""
+	}
+scan:
+	for step := 1; step < len(c.order); step++ {
+		cand := c.order[(idx+step)%len(c.order)]
+		if n := c.nodes[cand]; n == nil || !n.alive {
+			continue
+		}
+		for _, s := range skip {
+			if cand == s {
+				continue scan
+			}
+		}
+		return cand
+	}
+	return ""
+}
+
+// prevLiveLocked returns the first live node strictly before name in
+// the chain — the node whose sink was hosted on name.
+func (c *Cluster) prevLiveLocked(name string) string {
+	idx := -1
+	for i, o := range c.order {
+		if o == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return ""
+	}
+	for step := 1; step < len(c.order); step++ {
+		cand := c.order[(idx-step+len(c.order))%len(c.order)]
+		if n := c.nodes[cand]; n != nil && n.alive {
+			return cand
+		}
+	}
+	return ""
+}
+
+// FailoverStats reports one node death + promotion.
+type FailoverStats struct {
+	// Node is the member that died.
+	Node string
+	// Follower hosted the dead node's mirror and drove the promotion
+	// ("" when the dead node had no live follower — last node standing
+	// dies dark).
+	Follower string
+	// MirrorRecords is how many records replaying the mirror yielded.
+	MirrorRecords int
+	// Redistributed is how many of those landed on their new owners
+	// (the rest were idempotent duplicates of records the new owners
+	// already held, e.g. after a re-ingest or double failover).
+	Redistributed int
+	// MirrorTruncated reports whether the mirror ended in a torn frame
+	// (the un-acked tail of the append the primary died inside).
+	MirrorTruncated bool
+	// Retargeted names the node whose replication sink was re-homed
+	// because it pointed at the dead node ("" when none).
+	Retargeted string
+	// BootstrapRecords is how many records were seeded into the
+	// retargeted node's fresh mirror.
+	BootstrapRecords int
+}
+
+// Kill marks a node dead, removes it from the ring, and runs failover:
+// the dead node's follower replays its hosted mirror and redistributes
+// every record to its post-removal owner via the normal durable ingest
+// path (re-logged, re-replicated), and any node whose sink lived on
+// the corpse is retargeted to a fresh mirror on its next live follower
+// — seeded with the node's full store so the new follower could itself
+// drive a future promotion. Kill on a dead or unknown node is an
+// error; killing the last live node only marks it dead.
+func (c *Cluster) Kill(name string) (FailoverStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stats := FailoverStats{Node: name}
+	n := c.nodes[name]
+	if n == nil {
+		return stats, fmt.Errorf("cluster: unknown node %q", name)
+	}
+	if !n.alive {
+		return stats, fmt.Errorf("cluster: node %q already dead", name)
+	}
+	n.alive = false
+	n.d.Abort()
+	n.sink.Store(nil)
+	n.sinkHost = ""
+	c.ring.Remove(name)
+	metLiveNodes.Set(float64(c.liveCountLocked()))
+	metFailovers.Inc()
+
+	follower := c.nextLiveLocked(name)
+	stats.Follower = follower
+	if follower == "" {
+		return stats, nil
+	}
+	fn := c.nodes[follower]
+
+	// Promote: replay the mirror of the dead node and push every record
+	// through post-removal routing. ReplayWAL applies the same
+	// CRC-authenticate-or-truncate rules as node recovery, so the
+	// mirror's acked prefix — which synchronous shipping guarantees is
+	// complete — is exactly what redistributes.
+	if m := fn.hosted[name]; m != nil {
+		if err := m.Close(); err != nil {
+			return stats, fmt.Errorf("cluster: close mirror of %s: %w", name, err)
+		}
+		delete(fn.hosted, name)
+		rstats, err := store.ReplayWAL(m.Dir(), func(rec *store.Record) error {
+			stats.MirrorRecords++
+			owner := c.ring.Route(rec.PumpID)
+			on := c.nodes[owner]
+			if on == nil || !on.alive {
+				return fmt.Errorf("cluster: no live owner for pump %d", rec.PumpID)
+			}
+			stored, err := on.d.AddUnique(rec)
+			if err != nil {
+				return err
+			}
+			if stored {
+				stats.Redistributed++
+				metFailoverRecords.Inc()
+			}
+			return nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("cluster: promote %s from %s: %w", name, follower, err)
+		}
+		stats.MirrorTruncated = rstats.Truncated()
+	}
+
+	// Retarget: the dead node hosted its predecessor's sink; give that
+	// predecessor a fresh mirror on its next live follower, seeded with
+	// its current store so the chain's cover is complete again.
+	pred := c.prevLiveLocked(name)
+	if pred != "" && c.nodes[pred].sinkHost == name {
+		pn := c.nodes[pred]
+		pn.sink.Store(nil)
+		pn.sinkHost = ""
+		next := c.nextLiveLocked(pred)
+		if next != "" && next != pred {
+			nn := c.nodes[next]
+			m, err := store.NewSegmentMirror(mirrorDir(nn.dir, pred))
+			if err != nil {
+				return stats, err
+			}
+			seg := pn.d.WAL().Segment()
+			ps := pn.d.Store()
+			for _, id := range ps.Pumps() {
+				for _, rec := range ps.All(id) {
+					if err := m.AppendRecord(seg, rec); err != nil {
+						return stats, fmt.Errorf("cluster: bootstrap %s -> %s: %w", pred, next, err)
+					}
+					stats.BootstrapRecords++
+				}
+			}
+			if err := m.Sync(); err != nil {
+				return stats, err
+			}
+			nn.hosted[pred] = m
+			pn.sink.Store(m)
+			pn.sinkHost = next
+			stats.Retargeted = pred
+		}
+	}
+	return stats, nil
+}
+
+func (c *Cluster) liveCountLocked() int {
+	live := 0
+	for _, n := range c.nodes {
+		if n.alive {
+			live++
+		}
+	}
+	return live
+}
+
+// Union merges every live node's store into one canonical view — the
+// cluster-wide record set the chaos harness compares against the acked
+// stream. Records are AddUnique'd, so a record present on two nodes
+// (mid-redistribution duplicates) counts once.
+func (c *Cluster) Union() *store.Measurements {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	u := store.NewMeasurements()
+	for _, name := range c.order {
+		n := c.nodes[name]
+		if n == nil || !n.alive {
+			continue
+		}
+		s := n.d.Store()
+		for _, id := range s.Pumps() {
+			for _, rec := range s.All(id) {
+				u.AddUnique(rec)
+			}
+		}
+	}
+	return u
+}
+
+// NodeStatus is one member's row in a cluster status report.
+type NodeStatus struct {
+	Name          string   `json:"name"`
+	Alive         bool     `json:"alive"`
+	Records       int      `json:"records"`
+	WALSegment    int      `json:"wal_segment"`
+	ShipsTo       string   `json:"ships_to,omitempty"`
+	FramesShipped uint64   `json:"frames_shipped"`
+	BytesShipped  uint64   `json:"bytes_shipped"`
+	MirrorsHosted []string `json:"mirrors_hosted,omitempty"`
+}
+
+// Status is the cluster-wide report behind `vibectl cluster status`.
+type Status struct {
+	Nodes     []NodeStatus `json:"nodes"`
+	RingNodes []string     `json:"ring_nodes"`
+	Live      int          `json:"live"`
+}
+
+// Status snapshots the cluster.
+func (c *Cluster) Status() Status {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := Status{RingNodes: c.ring.Nodes()}
+	for _, name := range c.order {
+		n := c.nodes[name]
+		ns := NodeStatus{Name: name, Alive: n.alive}
+		if n.alive {
+			st.Live++
+			ns.Records = n.d.Store().Len()
+			ns.WALSegment = n.d.WAL().Segment()
+			ns.ShipsTo = n.sinkHost
+			if s := n.sink.Load(); s != nil {
+				ns.FramesShipped = s.FramesShipped()
+				ns.BytesShipped = s.BytesShipped()
+			}
+			for src := range n.hosted {
+				ns.MirrorsHosted = append(ns.MirrorsHosted, src)
+			}
+			sort.Strings(ns.MirrorsHosted)
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	return st
+}
+
+// Close shuts every live node down cleanly (final checkpoint + WAL
+// close), then closes the mirrors they host.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, name := range c.order {
+		n := c.nodes[name]
+		if n == nil || !n.alive {
+			continue
+		}
+		n.alive = false
+		if err := n.d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, name := range c.order {
+		for _, m := range c.nodes[name].hosted {
+			if err := m.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	metLiveNodes.Set(0)
+	return first
+}
+
+// abortAll tears down a half-open cluster without checkpoints.
+func (c *Cluster) abortAll() {
+	for _, n := range c.nodes {
+		if n.d != nil {
+			n.d.Abort()
+		}
+		for _, m := range n.hosted {
+			m.Close()
+		}
+	}
+}
+

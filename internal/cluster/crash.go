@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"vibepm/internal/chaos"
+	"vibepm/internal/store"
+)
+
+// ClusterCrashConfig parameterizes one node-kill crash trial.
+type ClusterCrashConfig struct {
+	// Dir is the cluster root (one per trial).
+	Dir string
+	// Nodes is the member count (default 3, minimum 2 — a one-node
+	// cluster has no follower to promote).
+	Nodes int
+	// Seed fixes the generated record stream.
+	Seed int64
+	// Records is how many ingests the trial attempts.
+	Records int
+	// Victim names the node whose local WAL byte stream is cut; ""
+	// picks the first node. The budget wraps only the victim's own
+	// segment files — mirror writes on the follower are real — so the
+	// crash point is a deterministic function of the victim's appends.
+	Victim string
+	// CrashAfterBytes cuts the victim's WAL at this byte offset
+	// (headers included); <= 0 runs the stream to completion with no
+	// crash (the probe mode the sweep uses to size its offsets).
+	CrashAfterBytes int64
+	// SegmentBytes sets every node's WAL rotation threshold (0 =
+	// default). Small values make crash offsets land on rotations and
+	// exercise mirror segment switching.
+	SegmentBytes int64
+	// Policy is the WAL fsync policy under test.
+	Policy store.SyncPolicy
+	// Reingest, when set, re-ingests every attempted record after the
+	// failover and asserts the cluster union converges to exactly the
+	// attempted stream — the "client retries after the outage" epilogue.
+	Reingest bool
+	// Reopen, when set, additionally closes the surviving cluster
+	// cleanly and reboots it from disk, asserting recovery reproduces
+	// the same cluster-wide contents.
+	Reopen bool
+}
+
+// ClusterCrashResult reports one trial.
+type ClusterCrashResult struct {
+	// Attempted is how many ingests were issued.
+	Attempted int
+	// Acked is how many ingests returned nil error.
+	Acked int
+	// Failed is how many ingests errored (routed to the dying node).
+	Failed int
+	// Recovered is the cluster-wide unique record count after failover.
+	Recovered int
+	// Crashed reports whether the injected crash fired.
+	Crashed bool
+	// WALBytes is what the victim wrote through the budget.
+	WALBytes int64
+	// Victim is the node that was killed ("" if the crash never fired
+	// and no kill happened).
+	Victim string
+	// Failover reports the promotion (zero value when no kill).
+	Failover FailoverStats
+}
+
+// clusterTrialRecord builds the i-th record of a seeded trial stream:
+// pump ids stride so the stream spreads across every member, service
+// times ascend, and the samples are seeded noise so each record's
+// bytes are distinct (a swapped or phantom record cannot hide behind
+// an identical payload).
+func clusterTrialRecord(rng *rand.Rand, i int) *store.Record {
+	raw := make([]int16, 8)
+	for j := range raw {
+		raw[j] = int16(rng.Intn(4096) - 2048)
+	}
+	return &store.Record{
+		PumpID:       (i * 11) % 64,
+		ServiceDays:  float64(i) * 0.25,
+		SampleRateHz: 4000,
+		ScaleG:       0.003,
+		Raw:          [3][]int16{raw, raw, raw},
+	}
+}
+
+// trialNames returns the member names n1..nN.
+func trialNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i+1)
+	}
+	return names
+}
+
+// RunClusterCrashTrial ingests a seeded record stream into an N-node
+// cluster whose victim node's WAL is cut at an injected byte offset.
+// The moment an ingest fails on the armed crash, the victim is killed
+// and its follower promoted; the rest of the stream keeps flowing
+// through post-failover routing. The trial then checks the clustered
+// recovery contract:
+//
+//	acked ⊆ recovered ⊆ attempted   (cluster-wide, canonical Save bytes)
+//
+// — every acknowledged ingest survives the node death byte-for-byte
+// somewhere in the cluster, and nothing the clients never sent
+// materializes. A non-nil error means the contract was violated (or
+// the trial could not run).
+func RunClusterCrashTrial(cfg ClusterCrashConfig) (ClusterCrashResult, error) {
+	var res ClusterCrashResult
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Nodes < 2 {
+		return res, errors.New("cluster: crash trial needs at least 2 nodes")
+	}
+	names := trialNames(cfg.Nodes)
+	victim := cfg.Victim
+	if victim == "" {
+		victim = names[0]
+	}
+	budget := chaos.NewCrashBudget(cfg.CrashAfterBytes)
+	c, err := Open(cfg.Dir, names, Options{
+		WAL: store.WALOptions{SegmentBytes: cfg.SegmentBytes, Policy: cfg.Policy},
+		WrapFileFor: func(node string) func(string, *os.File) store.SegmentFile {
+			if node == victim {
+				return budget.Wrap
+			}
+			return nil
+		},
+	})
+	killed := false
+	if err != nil {
+		if !budget.Crashed() {
+			return res, fmt.Errorf("open cluster: %w", err)
+		}
+		// The crash fired inside the victim's very first segment writes:
+		// the node died at boot and the cluster forms without it. Nothing
+		// was acked there, and no mirror exists to promote.
+		res.Victim = victim
+		killed = true
+		survivors := make([]string, 0, len(names))
+		for _, n := range names {
+			if n != victim {
+				survivors = append(survivors, n)
+			}
+		}
+		c, err = Open(cfg.Dir, survivors, Options{
+			WAL: store.WALOptions{SegmentBytes: cfg.SegmentBytes, Policy: cfg.Policy},
+		})
+		if err != nil {
+			return res, fmt.Errorf("open cluster without victim: %w", err)
+		}
+	}
+	defer func() { c.abortAll() }()
+
+	// killVictim runs the operator's move once the armed node is seen
+	// failing: kill it and let the follower promote.
+	killVictim := func() error {
+		if killed {
+			return nil
+		}
+		killed = true
+		res.Victim = victim
+		fo, err := c.Kill(victim)
+		if err != nil {
+			return fmt.Errorf("kill %s: %w", victim, err)
+		}
+		res.Failover = fo
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var acked, attempted, failed []*store.Record
+	for i := 0; i < cfg.Records; i++ {
+		rec := clusterTrialRecord(rng, i)
+		attempted = append(attempted, rec)
+		res.Attempted++
+		_, stored, err := c.Ingest(rec)
+		if err != nil {
+			if !budget.Crashed() {
+				return res, fmt.Errorf("ingest %d: %w", i, err)
+			}
+			failed = append(failed, rec)
+			res.Failed++
+			if err := killVictim(); err != nil {
+				return res, err
+			}
+			continue
+		}
+		if !stored {
+			return res, fmt.Errorf("ingest %d: unexpectedly judged duplicate", i)
+		}
+		acked = append(acked, rec)
+	}
+	res.Acked = len(acked)
+	res.Crashed = budget.Crashed()
+	res.WALBytes = budget.Written()
+
+	// The budget can fire on the victim's very last frame with no later
+	// ingest routed there; the sweep still wants the failover exercised.
+	if res.Crashed && !killed {
+		if err := killVictim(); err != nil {
+			return res, err
+		}
+	}
+
+	union := c.Union()
+	res.Recovered = union.Len()
+	if err := subsetEqual(acked, union, "acked", "recovered"); err != nil {
+		return res, err
+	}
+	if err := containedIn(union, attempted, "recovered", "attempted"); err != nil {
+		return res, err
+	}
+
+	if cfg.Reingest {
+		for i, rec := range attempted {
+			if _, _, err := c.Ingest(rec); err != nil {
+				// A budget that was exhausted without ever firing (the cut
+				// landed exactly on the last byte of the main stream) fires
+				// on the first re-ingested duplicate instead; the operator
+				// story is the same — kill, promote, retry.
+				if !budget.Crashed() || killed {
+					return res, fmt.Errorf("re-ingest %d: %w", i, err)
+				}
+				if err := killVictim(); err != nil {
+					return res, err
+				}
+				if _, _, err := c.Ingest(rec); err != nil {
+					return res, fmt.Errorf("re-ingest %d after failover: %w", i, err)
+				}
+			}
+		}
+		union = c.Union()
+		if err := storesEqual(union, attempted); err != nil {
+			return res, fmt.Errorf("after re-ingest: %w", err)
+		}
+	}
+
+	if cfg.Reopen {
+		want := c.Union()
+		survivors := make([]string, 0, len(names))
+		for _, n := range names {
+			if n != res.Victim {
+				survivors = append(survivors, n)
+			}
+		}
+		if err := c.Close(); err != nil {
+			return res, fmt.Errorf("clean close: %w", err)
+		}
+		again, err := Open(cfg.Dir, survivors, Options{
+			WAL: store.WALOptions{SegmentBytes: cfg.SegmentBytes, Policy: cfg.Policy},
+		})
+		if err != nil {
+			return res, fmt.Errorf("reopen cluster: %w", err)
+		}
+		defer again.abortAll()
+		got := again.Union()
+		if err := storesSameBytes(got, want, "reopened", "pre-close"); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// subsetEqual asserts every record in want appears in got with
+// identical canonical bytes: got restricted to want's keys must encode
+// exactly like a store of want alone.
+func subsetEqual(want []*store.Record, got *store.Measurements, wantName, gotName string) error {
+	ws := store.NewMeasurements()
+	rs := store.NewMeasurements()
+	for _, rec := range want {
+		if !ws.AddUnique(rec) {
+			return fmt.Errorf("%s stream contains an internal duplicate", wantName)
+		}
+		hits := got.Query(rec.PumpID, rec.ServiceDays, rec.ServiceDays)
+		if len(hits) != 1 {
+			return fmt.Errorf("%s record pump %d t=%g: %d matches in %s (want 1)",
+				wantName, rec.PumpID, rec.ServiceDays, len(hits), gotName)
+		}
+		rs.AddUnique(hits[0])
+	}
+	return storesSameBytes(rs, ws, gotName+" (restricted)", wantName)
+}
+
+// containedIn asserts every record in got is one of the allowed
+// records, byte for byte — no phantom data materialized.
+func containedIn(got *store.Measurements, allowed []*store.Record, gotName, allowedName string) error {
+	as := store.NewMeasurements()
+	for _, rec := range allowed {
+		as.AddUnique(rec)
+	}
+	rs := store.NewMeasurements()
+	for _, id := range got.Pumps() {
+		for _, rec := range got.All(id) {
+			hits := as.Query(rec.PumpID, rec.ServiceDays, rec.ServiceDays)
+			if len(hits) != 1 {
+				return fmt.Errorf("%s record pump %d t=%g not in %s",
+					gotName, rec.PumpID, rec.ServiceDays, allowedName)
+			}
+			rs.AddUnique(hits[0])
+		}
+	}
+	return storesSameBytes(got, rs, gotName, allowedName+" (restricted)")
+}
+
+// storesEqual asserts got holds exactly the given records.
+func storesEqual(got *store.Measurements, recs []*store.Record) error {
+	want := store.NewMeasurements()
+	for _, rec := range recs {
+		want.AddUnique(rec)
+	}
+	return storesSameBytes(got, want, "cluster union", "expected")
+}
+
+// storesSameBytes compares two stores via their canonical Save
+// encodings — the same byte-exact yardstick the single-node crash
+// harness uses.
+func storesSameBytes(got, want *store.Measurements, gotName, wantName string) error {
+	if got.Len() != want.Len() {
+		return fmt.Errorf("%s has %d records, %s has %d", gotName, got.Len(), wantName, want.Len())
+	}
+	var gb, wb bytes.Buffer
+	if err := got.Save(&gb); err != nil {
+		return fmt.Errorf("encode %s: %w", gotName, err)
+	}
+	if err := want.Save(&wb); err != nil {
+		return fmt.Errorf("encode %s: %w", wantName, err)
+	}
+	if !bytes.Equal(gb.Bytes(), wb.Bytes()) {
+		return fmt.Errorf("%s differs from %s", gotName, wantName)
+	}
+	return nil
+}

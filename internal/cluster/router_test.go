@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vibepm/internal/restapi"
+	"vibepm/internal/store"
+)
+
+// ingestBody builds a minimal valid ingest payload for pump.
+func ingestBody(pump int, day float64) string {
+	axis := restapi.EncodeAxis([]int16{1, 2, 3, 4})
+	return fmt.Sprintf(`{"pump_id":%d,"service_days":%g,"sample_rate_hz":4000,"scale_g":0.003,"x":%q,"y":%q,"z":%q}`,
+		pump, day, axis, axis, axis)
+}
+
+// newTestRouter boots a 3-node cluster with a restapi server per node
+// behind one Router — the in-process shape `vibed -cluster` runs.
+func newTestRouter(t *testing.T) (*Cluster, *Router) {
+	t.Helper()
+	c, err := Open(t.TempDir(), trialNames(3), Options{WAL: store.WALOptions{Policy: store.SyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.abortAll() })
+	rt := NewRouter(c.Ring(), c.Status)
+	for _, name := range trialNames(3) {
+		n := c.Node(name)
+		api := restapi.New(n.Durable().Store(), nil, nil, restapi.WithDurable(n.Durable()))
+		rt.SetNode(name, api, "")
+	}
+	return c, rt
+}
+
+// TestRouterForwardsIngestToOwner: a POST through the router lands on
+// the ring owner's store and only there, and the response names the
+// serving node.
+func TestRouterForwardsIngestToOwner(t *testing.T) {
+	c, rt := newTestRouter(t)
+	for pump := 0; pump < 24; pump++ {
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/measurements",
+			strings.NewReader(ingestBody(pump, 1.5)))
+		w := httptest.NewRecorder()
+		rt.ServeHTTP(w, req)
+		if w.Code != http.StatusCreated {
+			t.Fatalf("pump %d: status %d: %s", pump, w.Code, w.Body.String())
+		}
+		owner := c.Ring().Route(pump)
+		if got := w.Header().Get(NodeHeader); got != owner {
+			t.Fatalf("pump %d: served by %q, ring owner %q", pump, got, owner)
+		}
+		for _, name := range trialNames(3) {
+			n := len(c.Node(name).Durable().Store().Query(pump, 1.5, 1.5))
+			if (name == owner) != (n == 1) {
+				t.Fatalf("pump %d: node %s holds %d copies, owner is %s", pump, name, n, owner)
+			}
+		}
+	}
+}
+
+// TestRouterRoutesPumpPaths: GET /api/v1/pumps/{id}/... goes to the
+// id's owner; un-keyed paths pin to a stable member.
+func TestRouterRoutesPumpPaths(t *testing.T) {
+	c, rt := newTestRouter(t)
+	// Seed one record so the trend/measurements endpoints have data.
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/measurements", strings.NewReader(ingestBody(7, 2)))
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("seed ingest: %d", w.Code)
+	}
+
+	get := func(path string) (*httptest.ResponseRecorder, string) {
+		w := httptest.NewRecorder()
+		rt.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w, w.Header().Get(NodeHeader)
+	}
+	w2, node := get("/api/v1/pumps/7/measurements")
+	if w2.Code != http.StatusOK {
+		t.Fatalf("measurements: %d: %s", w2.Code, w2.Body.String())
+	}
+	if want := c.Ring().Route(7); node != want {
+		t.Fatalf("pump path served by %q, owner %q", node, want)
+	}
+	// An un-keyed path routes deterministically: same member each time.
+	_, first := get("/api/v1/healthz")
+	for i := 0; i < 5; i++ {
+		if _, again := get("/api/v1/healthz"); again != first {
+			t.Fatalf("un-keyed path flapped: %q vs %q", again, first)
+		}
+	}
+}
+
+// TestRouterRedirectsToRemoteOwner: an owner registered with only a
+// base URL answers 307 with the full Location, preserving the path.
+func TestRouterRedirectsToRemoteOwner(t *testing.T) {
+	c, rt := newTestRouter(t)
+	pump := 0
+	owner := c.Ring().Route(pump)
+	rt.SetNode(owner, nil, "http://"+owner+".example:8080/")
+
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/measurements", strings.NewReader(ingestBody(pump, 3)))
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusTemporaryRedirect {
+		t.Fatalf("status %d, want 307", w.Code)
+	}
+	want := "http://" + owner + ".example:8080/api/v1/measurements"
+	if got := w.Header().Get("Location"); got != want {
+		t.Fatalf("Location = %q, want %q", got, want)
+	}
+}
+
+// TestRouterErrors: missing pump_id, empty ring, unregistered owner.
+func TestRouterErrors(t *testing.T) {
+	_, rt := newTestRouter(t)
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/measurements", strings.NewReader(`{"service_days":1}`))
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("missing pump_id: status %d", w.Code)
+	}
+
+	empty := NewRouter(NewRing(8), nil)
+	w = httptest.NewRecorder()
+	empty.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/api/v1/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty ring: status %d", w.Code)
+	}
+
+	ring := NewRing(8)
+	ring.Add("ghost")
+	unreg := NewRouter(ring, nil)
+	w = httptest.NewRecorder()
+	unreg.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/api/v1/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unregistered owner: status %d", w.Code)
+	}
+}
+
+// TestRouterClusterStatusEndpoint: the status JSON vibectl consumes.
+func TestRouterClusterStatusEndpoint(t *testing.T) {
+	c, rt := newTestRouter(t)
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/api/v1/cluster/status", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var st Status
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad status JSON: %v", err)
+	}
+	if st.Live != 3 || len(st.Nodes) != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	if _, err := c.Kill("n1"); err != nil {
+		t.Fatal(err)
+	}
+	rt.RemoveNode("n1")
+	w = httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/api/v1/cluster/status", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != 2 {
+		t.Fatalf("live = %d after kill", st.Live)
+	}
+}
+
+// TestRestapiClusterRoute307: the node-level guard — a server that
+// knows it does not own a pump answers 307 (or 503 with no owner)
+// before touching its store, so a stale client cannot split a series
+// across nodes.
+func TestRestapiClusterRoute307(t *testing.T) {
+	m := store.NewMeasurements()
+	api := restapi.New(m, nil, nil, restapi.WithClusterRoute(
+		func(pumpID int) (string, bool, string) {
+			switch pumpID {
+			case 1:
+				return "self", true, ""
+			case 2:
+				return "other", false, "http://other.example/api/v1/measurements"
+			default:
+				return "", false, ""
+			}
+		}))
+
+	post := func(pump int) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		api.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/api/v1/measurements",
+			strings.NewReader(ingestBody(pump, 1))))
+		return w
+	}
+	if w := post(1); w.Code != http.StatusCreated {
+		t.Fatalf("local pump: %d: %s", w.Code, w.Body.String())
+	}
+	w := post(2)
+	if w.Code != http.StatusTemporaryRedirect {
+		t.Fatalf("foreign pump: %d, want 307", w.Code)
+	}
+	if got := w.Header().Get("Location"); got != "http://other.example/api/v1/measurements" {
+		t.Fatalf("Location = %q", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("store holds %d records; the redirected POST must not land locally", m.Len())
+	}
+	if w := post(3); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ownerless pump: %d, want 503", w.Code)
+	}
+}

@@ -145,6 +145,15 @@ type Config struct {
 	// WAL append succeeded, so an acked ingest survives a crash of the
 	// server process.
 	Durable *store.Durable
+	// Ingest, when non-nil, replaces the store write entirely — the
+	// clustering seam: a routed deployment points this at
+	// cluster.Ingest so each measurement lands on (and is acked by)
+	// its owning node rather than this process's store. The bool
+	// reports whether the record landed (false = idempotent
+	// duplicate); a nil error carries the same durability meaning as
+	// the Durable path. Takes precedence over Durable and Store, which
+	// then only serve local reads.
+	Ingest func(rec *store.Record) (bool, error)
 	// Link configures the lossy radio channel between each mote and the
 	// base station (per-mote links are derived with distinct seeds).
 	Link flush.LinkConfig
@@ -561,6 +570,9 @@ func (s *Server) ingest(rec *store.Record) (bool, error) {
 }
 
 func (s *Server) ingestStore(rec *store.Record) (bool, error) {
+	if s.cfg.Ingest != nil {
+		return s.cfg.Ingest(rec)
+	}
 	if s.durable != nil {
 		return s.durable.AddUnique(rec)
 	}

@@ -75,6 +75,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "sample_rate_hz and scale_g must be positive")
 		return
 	}
+	if s.route != nil {
+		node, local, redirect := s.route(req.PumpID)
+		if !local {
+			if redirect == "" {
+				writeErr(w, http.StatusServiceUnavailable, "no live node owns pump %d", req.PumpID)
+				return
+			}
+			// 307 keeps the method and body: the client re-POSTs the same
+			// measurement to the owner, and idempotent ingest makes an
+			// accidental double delivery harmless.
+			w.Header().Set("Location", redirect)
+			writeJSON(w, http.StatusTemporaryRedirect, map[string]any{
+				"error": "pump owned by another node", "node": node, "location": redirect,
+			})
+			return
+		}
+	}
 	rec := &store.Record{
 		PumpID:       req.PumpID,
 		ServiceDays:  req.ServiceDays,

@@ -36,6 +36,7 @@ type Server struct {
 	metrics      *obs.Registry
 	maxBodyBytes int64
 	live         *stream.LiveState
+	route        ClusterRoute
 
 	// pyramids caches the per-series downsample pyramid; respCache
 	// holds fully serialized trend responses, both keyed on the series
@@ -85,6 +86,21 @@ func WithDurable(d *store.Durable) Option {
 // bit-identical to the uncached path.
 func WithLive(ls *stream.LiveState) Option {
 	return func(s *Server) { s.live = ls }
+}
+
+// ClusterRoute decides measurement placement for one pump id: node
+// names the owner, local reports whether this server is that owner,
+// and redirect is the absolute URL a non-local client should re-issue
+// the request against ("" when the owner has no advertised address).
+type ClusterRoute func(pumpID int) (node string, local bool, redirect string)
+
+// WithClusterRoute makes ingest routing-aware: a POST for a pump this
+// node does not own answers 307 Temporary Redirect with the owner's
+// URL in Location (clients re-POST the identical body there — 307
+// preserves method and body by definition), or 503 when no live owner
+// exists. A nil route keeps the single-node behavior.
+func WithClusterRoute(route ClusterRoute) Option {
+	return func(s *Server) { s.route = route }
 }
 
 // New builds the API server. labels and periods may be nil, disabling

@@ -28,6 +28,11 @@ var (
 	metRecoveries     = obs.Default.Counter("vibepm_store_recoveries_total")
 	metCheckpoints    = obs.Default.Counter("vibepm_store_checkpoints_total")
 	metCheckpointDur  = obs.Default.Histogram("vibepm_store_checkpoint_duration_seconds", nil)
+
+	// Replication metrics: frames/bytes accepted by follower-side
+	// segment mirrors in this process (internal/cluster drives these).
+	metClusterFramesShipped = obs.Default.Counter("vibepm_cluster_frames_shipped_total")
+	metClusterShipBytes     = obs.Default.Counter("vibepm_cluster_ship_bytes_total")
 )
 
 // rawBytes is the in-memory payload size of one record: three int16

@@ -111,6 +111,20 @@ type WALOptions struct {
 	// WrapFile, when non-nil, interposes on every segment file the WAL
 	// opens — the fault-injection seam the crash-point harness uses.
 	WrapFile func(path string, f *os.File) SegmentFile
+	// OnFrame, when non-nil, observes every frame (header + payload)
+	// right after it reached the current segment file, with the segment
+	// index it landed in. It is called with the append lock held and
+	// before the append is acknowledged; a non-nil return fails the
+	// append and wedges the log (sticky), exactly like a local write
+	// failure. This is the seam synchronous segment replication hangs
+	// off: an append is never acked unless the follower accepted the
+	// frame too. The byte slice is pooled and only valid for the call.
+	OnFrame func(seg int, frame []byte) error
+	// OnSeal, when non-nil, observes every segment seal (rotation and
+	// clean close) with the sealed segment's index, after its bytes are
+	// synced and the file is closed. Called with internal locks held:
+	// implementations must not call back into the WAL.
+	OnSeal func(seg int)
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -252,11 +266,38 @@ func appendWALFrame(buf *bytes.Buffer, payload []byte) {
 	buf.Write(payload)
 }
 
+// frameRecord encodes rec as one complete WAL frame into buf (which
+// the caller has Reset), returning the frame bytes — a view into buf,
+// valid until the buffer is reused. The append path and the follower
+// bootstrap path share this encoder so both produce identical frames.
+func frameRecord(buf *bytes.Buffer, rec *Record) ([]byte, error) {
+	buf.Write(make([]byte, walHeaderLen)) // header placeholder
+	if err := EncodeRecord(buf, rec); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	payload := b[walHeaderLen:]
+	if len(payload) > maxWALPayload {
+		// Refuse before any byte reaches a segment: recovery rejects
+		// frames past maxWALPayload, so writing one would plant a frame
+		// that destroys itself (and everything behind it in the segment)
+		// at the next replay. EncodeRecord's MaxSamplesPerAxis bound
+		// makes this unreachable today; it stays as the invariant check
+		// the durability contract is stated over. Per-record, not
+		// sticky: the log itself is untouched and healthy.
+		return nil, fmt.Errorf("%w: frame payload %d bytes exceeds %d", ErrRecordTooLarge, len(payload), maxWALPayload)
+	}
+	binary.LittleEndian.PutUint32(b[0:], walFrameMagic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[8:], crc32.Checksum(payload, crcTable))
+	return b, nil
+}
+
 // setFailedLocked records the sticky failure. Caller holds w.mu and
 // must call notifyFailure after releasing it.
 func (w *WAL) setFailedLocked(err error) error {
 	if w.failed == nil {
-		w.failed = fmt.Errorf("%w: %v", ErrWALFailed, err)
+		w.failed = fmt.Errorf("%w: %w", ErrWALFailed, err)
 	}
 	return w.failed
 }
@@ -281,25 +322,10 @@ func (w *WAL) Append(rec *Record) error {
 	frame := walBufPool.Get().(*bytes.Buffer)
 	defer walBufPool.Put(frame)
 	frame.Reset()
-	frame.Write(make([]byte, walHeaderLen)) // header placeholder
-	if err := EncodeRecord(frame, rec); err != nil {
+	b, err := frameRecord(frame, rec)
+	if err != nil {
 		return err
 	}
-	b := frame.Bytes()
-	payload := b[walHeaderLen:]
-	if len(payload) > maxWALPayload {
-		// Refuse before any byte reaches the segment: recovery rejects
-		// frames past maxWALPayload, so acking one here would ack a
-		// record that destroys itself (and everything behind it in the
-		// segment) at the next replay. EncodeRecord's MaxSamplesPerAxis
-		// bound makes this unreachable today; it stays as the invariant
-		// check the durability contract is stated over. Per-record, not
-		// sticky: the WAL itself is untouched and healthy.
-		return fmt.Errorf("%w: frame payload %d bytes exceeds %d", ErrRecordTooLarge, len(payload), maxWALPayload)
-	}
-	binary.LittleEndian.PutUint32(b[0:], walFrameMagic)
-	binary.LittleEndian.PutUint32(b[4:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(b[8:], crc32.Checksum(payload, crcTable))
 
 	w.mu.Lock()
 	if w.closed {
@@ -324,6 +350,17 @@ func (w *WAL) Append(rec *Record) error {
 		w.mu.Unlock()
 		w.notifyFailure(err)
 		return err
+	}
+	if w.opts.OnFrame != nil {
+		// Ship what reached the local disk, before the ack: a frame the
+		// follower refused must not be acknowledged, and a wedged
+		// follower wedges the primary — conservative by construction.
+		if err := w.opts.OnFrame(w.seg, b); err != nil {
+			err = w.setFailedLocked(fmt.Errorf("replicate: %w", err))
+			w.mu.Unlock()
+			w.notifyFailure(err)
+			return err
+		}
 	}
 	w.segBytes += int64(len(b))
 	seq := w.appendSeq.Add(1)
@@ -425,10 +462,20 @@ func (w *WAL) rotateLocked() error {
 		if err := w.f.Close(); err != nil {
 			return err
 		}
+		if w.opts.OnSeal != nil {
+			w.opts.OnSeal(w.seg)
+		}
 	}
 	w.seg++
 	metWALRotations.Inc()
 	return w.openSegmentLocked()
+}
+
+// Segment returns the index of the segment currently being appended to.
+func (w *WAL) Segment() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seg
 }
 
 // Rotate seals the current segment and starts a new one, returning the
@@ -519,6 +566,7 @@ func (w *WAL) Close() error {
 	f := w.f
 	w.f = nil
 	failed := w.failed
+	seg := w.seg
 	w.mu.Unlock()
 
 	// Every frame written before closed was set has its sequence number
@@ -547,8 +595,14 @@ func (w *WAL) Close() error {
 	if f == nil {
 		return err
 	}
-	if cerr := f.Close(); err == nil {
+	cerr := f.Close()
+	if err == nil {
 		err = cerr
+	}
+	if err == nil && failed == nil && w.opts.OnSeal != nil {
+		// A cleanly closed final segment is sealed like a rotation: the
+		// follower can close its mirror of it too.
+		w.opts.OnSeal(seg)
 	}
 	return err
 }
