@@ -22,9 +22,14 @@ import (
 // cache / buffer pooling work, so the committed snapshot documents the
 // before/after of the optimization in one place.
 type benchResult struct {
-	NsPerOp             float64 `json:"ns_per_op"`
-	BytesPerOp          int64   `json:"bytes_per_op"`
-	AllocsPerOp         int64   `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// P99NsPerOp is set by latency-distribution cases (via
+	// b.ReportMetric("p99-ns")) and gated like ns/op: tail latency is
+	// the contract for cases like ingest-during-compaction, where the
+	// mean hides the pauses.
+	P99NsPerOp          float64 `json:"p99_ns_per_op,omitempty"`
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
 }
@@ -203,7 +208,12 @@ func benchSuite() ([]benchCase, error) {
 		return nil, err
 	}
 	cases = append(cases, pr6...)
-	return append(cases, benchSuitePR7()...), nil
+	cases = append(cases, benchSuitePR7()...)
+	pr8, err := benchSuitePR8()
+	if err != nil {
+		return nil, err
+	}
+	return append(cases, pr8...), nil
 }
 
 // baselineFor looks a case up across the per-PR baseline maps.
@@ -262,6 +272,9 @@ func runBenchSuite() (*benchSnapshot, []string, error) {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
+		if p99, ok := r.Extra["p99-ns"]; ok {
+			res.P99NsPerOp = p99
+		}
 		if base, ok := baselineFor(c.name); ok {
 			res.BaselineNsPerOp = base.NsPerOp
 			res.BaselineAllocsPerOp = base.AllocsPerOp
@@ -271,6 +284,9 @@ func runBenchSuite() (*benchSnapshot, []string, error) {
 			volatile = append(volatile, c.name)
 		}
 		fmt.Printf("%-20s %12.0f ns/op %8d B/op %6d allocs/op", c.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		if res.P99NsPerOp > 0 {
+			fmt.Printf("   p99 %.0f ns", res.P99NsPerOp)
+		}
 		if res.BaselineNsPerOp > 0 && res.NsPerOp > 0 {
 			fmt.Printf("   (%.2fx vs pre-optimization)", res.BaselineNsPerOp/res.NsPerOp)
 		}
@@ -329,6 +345,15 @@ func gateSnapshot(current, committed *benchSnapshot, tol float64) error {
 		case cur.NsPerOp < com.NsPerOp*(1-tol):
 			fmt.Printf("GATE NOTE %-20s %.0f ns/op vs committed %.0f — faster by more than %.0f%%; refresh the snapshot\n",
 				name, cur.NsPerOp, com.NsPerOp, 100*tol)
+		}
+		if com.P99NsPerOp > 0 {
+			p99Allowed := com.P99NsPerOp * (1 + tol)
+			if cur.P99NsPerOp > p99Allowed {
+				diffs = append(diffs, gateDiff{
+					name: name, metric: "p99-ns",
+					seed: com.P99NsPerOp, measured: cur.P99NsPerOp, allowed: p99Allowed,
+				})
+			}
 		}
 		allowed := int64(float64(com.AllocsPerOp)*(1+tol)) + 2
 		if cur.AllocsPerOp > allowed {

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"vibepm/internal/mems"
+	"vibepm/internal/physics"
+	"vibepm/internal/restapi"
+	"vibepm/internal/store"
+)
+
+// benchSuitePR8 assembles the tiered-storage cases: the waveform codec
+// both directions (the cost of moving a record cold and of reading it
+// back), the cold-range trend scan (what a dashboard pays for history
+// the compactor moved out of memory), and ingest latency while the
+// compactor runs — the one with the p99 gate, because the tiering
+// pitch is that compaction does not pause the write path.
+func benchSuitePR8() ([]benchCase, error) {
+	// One realistic waveform, long enough that codec throughput
+	// dominates per-call overhead.
+	pump := physics.NewPump(physics.PumpConfig{ID: 1, Seed: 1})
+	sensor, err := mems.New(mems.Config{Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	wave := sensor.Measure(pump, 5, 16384).Raw[0]
+
+	mkRec := func(sensor *mems.Sensor, p *physics.Pump, id int, day float64, samples int) *store.Record {
+		cap := sensor.Measure(p, day, samples)
+		rec := &store.Record{
+			PumpID:       id,
+			ServiceDays:  day,
+			SampleRateHz: cap.SampleRateHz,
+			ScaleG:       cap.ScaleG,
+		}
+		for axis := 0; axis < 3; axis++ {
+			rec.Raw[axis] = cap.Raw[axis]
+		}
+		return rec
+	}
+
+	// A cold store with 4 pumps × 28 days of history for the scan case,
+	// built once through the real compaction path.
+	coldDir := func() (*store.ColdStore, error) {
+		dir, err := os.MkdirTemp("", "vibebench-cold")
+		if err != nil {
+			return nil, err
+		}
+		d, _, err := store.OpenDurable(dir, store.DurableOptions{
+			WAL: store.WALOptions{Policy: store.SyncNever},
+			Tiered: &store.TieredOptions{
+				HotWindowDays: 2,
+				PartitionDays: 7,
+				Metrics:       restapi.ColdMetrics(),
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for id := 1; id <= 4; id++ {
+			p := physics.NewPump(physics.PumpConfig{ID: id, Seed: int64(id)})
+			s, err := mems.New(mems.Config{Seed: int64(20 + id)})
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < 28*8; i++ {
+				if _, err := d.AddUnique(mkRec(s, p, id, float64(i)*0.125, 256)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, err := d.Checkpoint(); err != nil {
+			return nil, err
+		}
+		cold := d.Cold()
+		d.Abort()
+		return cold, nil
+	}
+	cold, err := coldDir()
+	if err != nil {
+		return nil, err
+	}
+	if len(cold.TrendSeries(1, "rms")) == 0 {
+		return nil, fmt.Errorf("bench: cold trend scan corpus compacted nothing")
+	}
+
+	cases := []benchCase{
+		{"ColdCompress16k", func(b *testing.B) {
+			dst := make([]byte, 0, 4*len(wave))
+			b.SetBytes(int64(2 * len(wave)))
+			b.ReportAllocs()
+			for b.Loop() {
+				dst = store.CompressInt16sInto(dst[:0], wave)
+			}
+		}},
+		{"ColdDecompress16k", func(b *testing.B) {
+			src := store.CompressInt16sInto(nil, wave)
+			out := make([]int16, len(wave))
+			b.SetBytes(int64(2 * len(wave)))
+			b.ReportAllocs()
+			for b.Loop() {
+				if err := store.DecompressInt16sInto(out, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ColdTrendScan", func(b *testing.B) {
+			// The read path under a cold-range trend query: pull the
+			// resident scalar series for every pump and downsample —
+			// no waveform ever decompresses.
+			b.ReportAllocs()
+			for b.Loop() {
+				for id := 1; id <= 4; id++ {
+					series := cold.TrendSeries(id, "rms")
+					pyr := store.NewPyramid(series)
+					if pts := pyr.Downsample(512); len(pts) == 0 {
+						b.Fatal("empty cold trend")
+					}
+				}
+			}
+		}},
+		{"IngestDuringCompaction", func(b *testing.B) {
+			d, _, err := store.OpenDurable(b.TempDir(), store.DurableOptions{
+				WAL: store.WALOptions{Policy: store.SyncNever},
+				Tiered: &store.TieredOptions{
+					HotWindowDays: 2,
+					PartitionDays: 1,
+					Metrics:       restapi.ColdMetrics(),
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Abort()
+			s, err := mems.New(mems.Config{Seed: 31})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := physics.NewPump(physics.PumpConfig{ID: 1, Seed: 3})
+			// Backfill history so the checkpoints below always have
+			// spans to compact while the timed ingest runs.
+			day := 0.0
+			for i := 0; i < 400; i++ {
+				day += 0.05
+				if _, err := d.AddUnique(mkRec(s, p, 1, day, 256)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := d.Checkpoint(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+			lat := make([]time.Duration, 0, 1<<16)
+			b.ReportAllocs()
+			for b.Loop() {
+				day += 0.05
+				rec := mkRec(s, p, 1, day, 256)
+				start := time.Now()
+				if _, err := d.AddUnique(rec); err != nil {
+					b.Fatal(err)
+				}
+				lat = append(lat, time.Since(start))
+			}
+			close(stop)
+			wg.Wait()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			p99 := lat[len(lat)*99/100]
+			b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+		}},
+	}
+	return cases, nil
+}

@@ -9,6 +9,7 @@
 //	vibectl boundary
 //	vibectl period
 //	vibectl cluster status
+//	vibectl storage status
 package main
 
 import (
@@ -55,6 +56,11 @@ func main() {
 			usage()
 		}
 		err = c.clusterStatus()
+	case "storage":
+		if len(args) < 2 || args[1] != "status" {
+			usage()
+		}
+		err = c.storageStatus()
 	default:
 		usage()
 	}
@@ -65,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vibectl [-server URL] pumps | measurements <pump> | zone <pump> | rul <pump> | fleet | boundary | period | cluster status")
+	fmt.Fprintln(os.Stderr, "usage: vibectl [-server URL] pumps | measurements <pump> | zone <pump> | rul <pump> | fleet | boundary | period | cluster status | storage status")
 	os.Exit(2)
 }
 
@@ -213,6 +219,57 @@ func (c *cli) clusterStatus() error {
 			n.Name, state, n.Records, n.WALSegment, shipsTo, n.FramesShipped, n.BytesShipped, n.MirrorsHosted)
 	}
 	return nil
+}
+
+// storageStatus renders the tier inventory vibed serves at
+// /api/v1/storage/status: the hot store footprint plus, when the server
+// runs -tiered, the cold partition inventory and compression ratio.
+func (c *cli) storageStatus() error {
+	body, err := c.get("/api/v1/storage/status")
+	if err != nil {
+		return err
+	}
+	var v struct {
+		HotRecords int  `json:"hot_records"`
+		HotPumps   int  `json:"hot_pumps"`
+		Tiered     bool `json:"tiered"`
+		Cold       *struct {
+			Partitions      int     `json:"partitions"`
+			Records         int     `json:"records"`
+			CompressedBytes int64   `json:"compressed_bytes"`
+			RawBytes        int64   `json:"raw_bytes"`
+			Ratio           float64 `json:"compression_ratio"`
+			OldestDays      float64 `json:"oldest_days"`
+			UpToDays        float64 `json:"up_to_days"`
+		} `json:"cold"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return err
+	}
+	fmt.Printf("hot:  %d records across %d pumps\n", v.HotRecords, v.HotPumps)
+	if !v.Tiered || v.Cold == nil {
+		fmt.Println("cold: tiering disabled")
+		return nil
+	}
+	fmt.Printf("cold: %d records in %d partitions, days [%.1f, %.1f)\n",
+		v.Cold.Records, v.Cold.Partitions, v.Cold.OldestDays, v.Cold.UpToDays)
+	fmt.Printf("      %s compressed from %s (%.1fx)\n",
+		byteSize(v.Cold.CompressedBytes), byteSize(v.Cold.RawBytes), v.Cold.Ratio)
+	return nil
+}
+
+// byteSize renders n in the largest binary unit that keeps it readable.
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 func (c *cli) fleet() error {

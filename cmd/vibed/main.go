@@ -12,6 +12,9 @@
 //	vibed -simulate -pprof      # also mount /debug/pprof/ handlers
 //	vibed -cluster 3 -wal-dir d # 3 in-process nodes, hash-routed ingest,
 //	                            # per-node WALs replicated to followers
+//	vibed -data data/ -wal-dir d -tiered -retention age=90d
+//	                            # compact history beyond the hot window
+//	                            # into compressed cold partitions
 package main
 
 import (
@@ -49,6 +52,12 @@ func main() {
 		ckptEvery    = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period for -wal-dir")
 		syncEvery    = flag.Duration("fsync-interval", time.Second, "WAL fsync period under -fsync interval")
 		clusterN     = flag.Int("cluster", 0, "run N in-process nodes behind consistent-hash routing (needs -wal-dir; data plane only)")
+
+		tiered        = flag.Bool("tiered", false, "compact history beyond the hot window into compressed cold partitions (needs -wal-dir)")
+		coldDir       = flag.String("cold-dir", "", "cold partition directory (default <wal-dir>/cold)")
+		retention     = flag.String("retention", "", `cold-tier retention limits, e.g. "age=90d,bytes=512MB"; empty keeps everything`)
+		hotWindowDays = flag.Float64("hot-window-days", 30, "history kept hot (uncompressed, in memory) behind the newest record")
+		partitionDays = flag.Float64("partition-days", 7, "service-time span of one cold partition")
 	)
 	flag.Parse()
 
@@ -111,16 +120,35 @@ func main() {
 	// Durable ingestion: recover snapshot + WAL into the corpus store,
 	// then log every ingest before acking it.
 	var durable *store.Durable
+	if *tiered && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "-tiered needs -wal-dir")
+		os.Exit(2)
+	}
 	if *walDir != "" {
 		policy, err := store.ParseSyncPolicy(*fsyncPolicy)
 		if err != nil {
 			logger.Error("bad -fsync", "err", err)
 			os.Exit(2)
 		}
-		d, rstats, err := store.OpenDurable(*walDir, store.DurableOptions{
+		dopts := store.DurableOptions{
 			Store: measurements,
 			WAL:   store.WALOptions{Policy: policy},
-		})
+		}
+		if *tiered {
+			pol, err := store.ParseRetention(*retention)
+			if err != nil {
+				logger.Error("bad -retention", "err", err)
+				os.Exit(2)
+			}
+			dopts.Tiered = &store.TieredOptions{
+				ColdDir:       *coldDir,
+				HotWindowDays: *hotWindowDays,
+				PartitionDays: *partitionDays,
+				Metrics:       restapi.ColdMetrics(),
+				Retention:     pol,
+			}
+		}
+		d, rstats, err := store.OpenDurable(*walDir, dopts)
 		if err != nil {
 			logger.Error("open durable store failed", "dir", *walDir, "err", err)
 			os.Exit(1)
@@ -135,6 +163,17 @@ func main() {
 			"wal_truncations", rstats.Replay.Truncations,
 			"fsync", policy.String(),
 		)
+		if c := durable.Cold(); c != nil {
+			cs := c.Stats()
+			logger.Info("cold tier recovered",
+				"dir", c.Dir(),
+				"partitions", cs.Partitions,
+				"records", cs.Records,
+				"compressed_bytes", cs.CompressedBytes,
+				"compression_ratio", cs.Ratio,
+				"retention", dopts.Tiered.Retention.String(),
+			)
+		}
 		durable.StartCheckpointLoop(*ckptEvery, *syncEvery, func(err error) {
 			logger.Warn("durable background maintenance", "err", err)
 		})
@@ -147,6 +186,13 @@ func main() {
 	}
 
 	eng := vibepm.NewWithStores(vibepm.Options{}, measurements, labels)
+	if durable != nil {
+		if c := durable.Cold(); c != nil {
+			// Fit reaches into cold partitions for labelled measurements
+			// the compactor evicted from the hot window.
+			eng.AttachCold(c)
+		}
+	}
 	// The incremental analysis path: fold every recovered measurement
 	// once up front (the warm-up), then keep the cache current from the
 	// ingest endpoint, so trend and fleet queries stay O(new data).

@@ -81,6 +81,13 @@ type Engine struct {
 	// and every later trend rebuild reads cached scalars. The results
 	// are bit-identical to the batch path (see internal/stream).
 	live *stream.LiveState
+
+	// cold, when non-nil, is the tiered store's compressed partition
+	// tier. Fit reaches into it for labelled measurements the compactor
+	// evicted from the hot store (decompressing only the pumps that
+	// carry labels below the cold bound); routine trend/fleet analysis
+	// stays on the hot window.
+	cold *store.ColdStore
 }
 
 type trendCacheEntry struct {
@@ -116,6 +123,14 @@ func (e *Engine) Measurements() *Measurements { return e.measurements }
 // Labels exposes the engine's label store.
 func (e *Engine) Labels() *Labels { return e.labels }
 
+// AttachCold connects the tiered store's cold partition tier so Fit
+// can pair labels with measurements the compactor has moved out of the
+// hot store. Pass the Durable's Cold() when tiering is enabled.
+func (e *Engine) AttachCold(c *ColdStore) { e.cold = c }
+
+// Cold returns the attached cold tier, or nil.
+func (e *Engine) Cold() *ColdStore { return e.cold }
+
 // Ingest adds one measurement. Trend-cache invalidation is implicit:
 // the store bumps the pump's series generation, which the cache keys
 // on.
@@ -146,8 +161,42 @@ type labelledPair struct {
 func (e *Engine) labelledPairs() []labelledPair {
 	var out []labelledPair
 	tol := e.opts.LabelMatchToleranceDays
+	// coldByPump lazily caches cold decompression per pump: only pumps
+	// whose label windows dip below the cold coverage bound pay it, and
+	// only once per fit.
+	var coldByPump map[int][]*Record
 	for _, lab := range e.labels.Valid() {
 		recs := e.measurements.Query(lab.PumpID, lab.ServiceDays-tol, lab.ServiceDays+tol)
+		if e.cold != nil && lab.ServiceDays-tol < e.cold.UpTo() {
+			if coldByPump == nil {
+				coldByPump = make(map[int][]*Record)
+			}
+			cr, ok := coldByPump[lab.PumpID]
+			if !ok {
+				// A cold read failure leaves cr nil: the label falls back
+				// to whatever is still hot rather than failing the fit.
+				cr, _ = e.cold.Records(lab.PumpID)
+				coldByPump[lab.PumpID] = cr
+			}
+			for _, r := range cr {
+				if r.ServiceDays < lab.ServiceDays-tol || r.ServiceDays > lab.ServiceDays+tol {
+					continue
+				}
+				// Hot wins on equal service time: a crash between a
+				// partition rename and the next snapshot can leave the
+				// same record in both tiers.
+				dup := false
+				for _, h := range recs {
+					if h.ServiceDays == r.ServiceDays {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					recs = append(recs, r)
+				}
+			}
+		}
 		if len(recs) == 0 {
 			continue
 		}

@@ -1,0 +1,102 @@
+package vibepm
+
+import (
+	"math"
+	"testing"
+
+	"vibepm/internal/dataset"
+	"vibepm/internal/physics"
+	"vibepm/internal/store"
+)
+
+// TestEngineFitFromColdTier pins the tiered-fit guarantee: after the
+// compactor moves the labelled measurements into cold partitions, an
+// engine with the cold tier attached fits to the bit-identical boundary
+// an all-hot engine reaches — the exact float64 round trip of the
+// partition codec carried all the way through training.
+func TestEngineFitFromColdTier(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{
+		Seed:               11,
+		DurationDays:       40,
+		MeasurementsPerDay: 1,
+		Samples:            512,
+		LabelCounts: map[physics.MergedZone]int{
+			physics.MergedA:  30,
+			physics.MergedBC: 60,
+			physics.MergedD:  30,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One flat, ordered record sequence, applied with the same
+	// unique-key semantics to both stores so the two engines train on
+	// identical data.
+	var all []*store.Record
+	for _, id := range ds.Measurements.Pumps() {
+		all = append(all, ds.Measurements.All(id)...)
+	}
+	for _, lr := range ds.LabelledRecords {
+		all = append(all, lr.Record)
+	}
+
+	hotM := store.NewMeasurements()
+	for _, rec := range all {
+		hotM.AddUnique(rec)
+	}
+	engHot := NewWithStores(Options{}, hotM, ds.Labels)
+	if err := engHot.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	wantBoundary, err := engHot.Boundary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, _, err := store.OpenDurable(t.TempDir(), store.DurableOptions{
+		WAL: store.WALOptions{Policy: store.SyncNever},
+		Tiered: &store.TieredOptions{
+			HotWindowDays: 5,
+			PartitionDays: 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Abort()
+	for _, rec := range all {
+		if _, err := d.AddUnique(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := d.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compaction.RecordsEvicted == 0 {
+		t.Fatal("nothing compacted; the cold-fit path is not exercised")
+	}
+	// Sanity: some labelled measurements really did go cold.
+	coldLabelled := 0
+	for _, lab := range ds.Labels.Valid() {
+		if d.Cold().Contains(lab.PumpID, lab.ServiceDays) {
+			coldLabelled++
+		}
+	}
+	if coldLabelled == 0 {
+		t.Fatal("no labelled measurement went cold; lower the hot window")
+	}
+
+	engCold := NewWithStores(Options{}, d.Store(), ds.Labels)
+	engCold.AttachCold(d.Cold())
+	if err := engCold.Fit(); err != nil {
+		t.Fatalf("tiered fit: %v", err)
+	}
+	got, err := engCold.Boundary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(wantBoundary) {
+		t.Fatalf("tiered boundary %v != hot boundary %v", got, wantBoundary)
+	}
+}

@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestCompactionCrashSweep drives the crash point through every region
+// of the compactor's partition writes: a dry run measures the total
+// partition byte footprint, then trials cut the stream at offsets swept
+// across it — inside the first partition's header, mid-stream, on
+// partition boundaries, and past the end. Every trial must recover the
+// exact acked set from hot ∪ cold and converge on the next checkpoint.
+func TestCompactionCrashSweep(t *testing.T) {
+	const records = 96
+	dirFor := compactionTrialDirs(t.TempDir())
+
+	dry, err := RunCompactionCrashTrial(CompactionCrashConfig{
+		Dir:     dirFor(0),
+		Seed:    42,
+		Records: records,
+	})
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	if dry.Crashed {
+		t.Fatal("dry run crashed; budget should have been unlimited")
+	}
+	if dry.PartitionBytes == 0 {
+		t.Fatal("dry run compacted nothing; the sweep below would be vacuous")
+	}
+	t.Logf("dry run: %d acked records, %d partition bytes, %d partitions",
+		dry.Acked, dry.PartitionBytes, dry.PartitionsAfterCrash)
+
+	total := dry.PartitionBytes
+	step := total / 48
+	if step == 0 {
+		step = 1
+	}
+	crashes := 0
+	for off := int64(1); off <= total; off += step {
+		res, err := RunCompactionCrashTrial(CompactionCrashConfig{
+			Dir:                      dirFor(off),
+			Seed:                     42,
+			Records:                  records,
+			CrashAfterPartitionBytes: off,
+		})
+		if err != nil {
+			t.Fatalf("crash offset %d/%d: %v", off, total, err)
+		}
+		if res.Acked != records {
+			t.Fatalf("offset %d: acked %d, want %d — the budget must never cut the WAL", off, res.Acked, records)
+		}
+		if res.Crashed {
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no trial crashed; the sweep never exercised the recovery path")
+	}
+	t.Logf("sweep: %d offsets, %d crashes", (total+step-1)/step, crashes)
+}
+
+// TestCompactionCrashFirstByte pins the harshest cut — the compactor
+// dies writing the very first byte of the very first partition, so the
+// cold tier gains nothing and recovery rides entirely on the WAL the
+// checkpoint had not yet retired.
+func TestCompactionCrashFirstByte(t *testing.T) {
+	res, err := RunCompactionCrashTrial(CompactionCrashConfig{
+		Dir:                      t.TempDir(),
+		Seed:                     7,
+		Records:                  64,
+		CrashAfterPartitionBytes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("1-byte budget did not crash the partition write")
+	}
+	if res.PartitionsAfterCrash != 0 {
+		t.Fatalf("%d partitions survived a first-byte crash; rename must come after the full write",
+			res.PartitionsAfterCrash)
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strconv"
@@ -105,7 +106,15 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// cap restapi enforces) so the owning node can re-read it.
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBodyBytes))
 		if err != nil {
-			routerErr(w, http.StatusRequestEntityTooLarge, "request body too large")
+			// Only the byte-cap error is 413; everything else (client
+			// disconnect, truncated chunked body) is the client's bad
+			// request, not an oversized one.
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				routerErr(w, http.StatusRequestEntityTooLarge, "request body too large")
+			} else {
+				routerErr(w, http.StatusBadRequest, "unreadable request body")
+			}
 			return
 		}
 		var peek struct {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -140,6 +141,58 @@ func TestRouterErrors(t *testing.T) {
 	unreg.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/api/v1/healthz", nil))
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("unregistered owner: status %d", w.Code)
+	}
+}
+
+// brokenReader yields a few bytes then fails like a client that
+// disconnected mid-body.
+type brokenReader struct{ sent bool }
+
+func (b *brokenReader) Read(p []byte) (int, error) {
+	if !b.sent {
+		b.sent = true
+		return copy(p, []byte(`{"pump_id":`)), nil
+	}
+	return 0, io.ErrUnexpectedEOF
+}
+
+// TestRouterIngestErrorPaths is the regression table for the routed
+// ingest error statuses. The router used to answer 413 for every body
+// read failure — including client disconnects — because it matched
+// http.MaxBytesReader's error by substring; only the byte-cap error may
+// be 413, and router-originated errors must not claim a serving node.
+func TestRouterIngestErrorPaths(t *testing.T) {
+	_, rt := newTestRouter(t)
+	cases := []struct {
+		name string
+		body io.Reader
+		want int
+	}{
+		{"oversized body", strings.NewReader(`{"pump_id":1,"pad":"` + strings.Repeat("x", 9<<20) + `"}`), http.StatusRequestEntityTooLarge},
+		{"missing pump_id", strings.NewReader(`{"service_days":1}`), http.StatusBadRequest},
+		{"malformed JSON", strings.NewReader(`{"pump_id":`), http.StatusBadRequest},
+		{"disconnect mid-body", &brokenReader{}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodPost, "/api/v1/measurements", tc.body)
+			w := httptest.NewRecorder()
+			rt.ServeHTTP(w, req)
+			if w.Code != tc.want {
+				t.Fatalf("status %d, want %d: %s", w.Code, tc.want, w.Body.String())
+			}
+			// The request never reached a member, so the response must
+			// not attribute itself to one.
+			if node := w.Header().Get(NodeHeader); node != "" {
+				t.Fatalf("router error carries %s=%q; header must be absent", NodeHeader, node)
+			}
+			var errBody struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &errBody); err != nil || errBody.Error == "" {
+				t.Fatalf("error body %q is not the router's JSON error shape", w.Body.String())
+			}
+		})
 	}
 }
 

@@ -143,9 +143,17 @@ func (a *Analysis) handleFleet(w http.ResponseWriter, r *http.Request) {
 		age = a.ageOf
 	}
 	gen := a.eng.Measurements().GenerationTotal()
+	// With tiering, compaction and retention drops move the partition
+	// list's generation; the fleet response keys on it with the same
+	// discipline as the hot generation so a dashboard never revalidates
+	// against a stale cold view.
+	var coldGen uint64
+	if c := a.eng.Cold(); c != nil {
+		coldGen = c.Generation()
+	}
 	a.fleetMu.Lock()
 	defer a.fleetMu.Unlock()
-	if ent := a.fleetResp; ent != nil && ent.gen == gen && a.fleetReady == ready {
+	if ent := a.fleetResp; ent != nil && ent.gen == gen && ent.coldGen == coldGen && a.fleetReady == ready {
 		serveCached(w, r, ent)
 		return
 	}
@@ -160,9 +168,10 @@ func (a *Analysis) handleFleet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ent := &cachedResp{
-		gen:  gen,
-		etag: fmt.Sprintf("\"fleet-%d-%t\"", gen, ready),
-		body: body,
+		gen:     gen,
+		coldGen: coldGen,
+		etag:    fmt.Sprintf("\"fleet-%d-%d-%t\"", gen, coldGen, ready),
+		body:    body,
 	}
 	a.fleetResp, a.fleetReady = ent, ready
 	serveCached(w, r, ent)

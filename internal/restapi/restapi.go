@@ -37,13 +37,18 @@ type Server struct {
 	maxBodyBytes int64
 	live         *stream.LiveState
 	route        ClusterRoute
+	cold         *store.ColdStore
 
 	// pyramids caches the per-series downsample pyramid; respCache
 	// holds fully serialized trend responses, both keyed on the series
 	// generation so an append invalidates exactly the touched pump.
-	pyramids  *store.TrendCache
-	respMu    sync.Mutex
-	respCache map[respKey]*cachedResp
+	// mergedPyrs is the tiered counterpart of pyramids: pyramids over
+	// the cold+hot merged series, keyed on both tiers' generations.
+	pyramids   *store.TrendCache
+	respMu     sync.Mutex
+	respCache  map[respKey]*cachedResp
+	mergedMu   sync.Mutex
+	mergedPyrs map[mergedKey]mergedEntry
 
 	ingestAccepted   *obs.Counter
 	ingestDuplicates *obs.Counter
@@ -74,9 +79,16 @@ func WithMaxBodyBytes(n int64) Option {
 // WithDurable routes POST /api/v1/measurements through the durable
 // store: a 201 is returned only after the record's WAL append
 // succeeded, and a failed log (disk gone, WAL wedged) answers 503
-// instead of acking data that would not survive a restart.
+// instead of acking data that would not survive a restart. When the
+// durable store is tiered, its cold partition store is attached to the
+// read path too (see WithCold).
 func WithDurable(d *store.Durable) Option {
-	return func(s *Server) { s.durable = d }
+	return func(s *Server) {
+		s.durable = d
+		if c := d.Cold(); c != nil {
+			s.cold = c
+		}
+	}
 }
 
 // WithLive attaches the incremental feature cache: each accepted
@@ -113,6 +125,7 @@ func New(m *store.Measurements, l *store.Labels, p *store.PeriodManager, opts ..
 		maxBodyBytes: DefaultMaxBodyBytes,
 		pyramids:     store.NewTrendCache(),
 		respCache:    make(map[respKey]*cachedResp),
+		mergedPyrs:   make(map[mergedKey]mergedEntry),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -130,6 +143,7 @@ func New(m *store.Measurements, l *store.Labels, p *store.PeriodManager, opts ..
 	s.handle("GET /api/v1/labels", s.handleLabels)
 	s.handle("GET /api/v1/period", s.handleGetPeriod)
 	s.handle("PUT /api/v1/period", s.handlePutPeriod)
+	s.handle("GET /api/v1/storage/status", s.handleStorageStatus)
 	s.handle("GET /api/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

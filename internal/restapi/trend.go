@@ -39,12 +39,16 @@ type respKey struct {
 	points int
 }
 
-// cachedResp is a fully serialized response plus the series generation
-// it reflects and the strong ETag clients revalidate against.
+// cachedResp is a fully serialized response plus the generations it
+// reflects and the strong ETag clients revalidate against. coldGen is 0
+// when the server has no cold tier; with tiering it is the partition
+// list's generation, so a compaction or retention drop invalidates the
+// response exactly like a hot append does.
 type cachedResp struct {
-	gen  uint64
-	etag string
-	body []byte
+	gen     uint64
+	coldGen uint64
+	etag    string
+	body    []byte
 }
 
 // TrendPointJSON is one downsampled trend sample on the wire.
@@ -137,25 +141,39 @@ func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	gen := s.measurements.Generation(id)
-	if gen == 0 {
+	coldPump := s.coldHas(id)
+	if gen == 0 && !coldPump {
 		writeErr(w, http.StatusNotFound, "no measurements for pump %d", id)
 		return
+	}
+	var coldGen uint64
+	if coldPump {
+		coldGen = s.cold.Generation()
 	}
 	key := respKey{pumpID: id, metric: metric, points: points}
 	s.respMu.Lock()
 	ent := s.respCache[key]
 	s.respMu.Unlock()
-	if ent != nil && ent.gen == gen {
+	if ent != nil && ent.gen == gen && ent.coldGen == coldGen {
 		s.trendCacheHits.Inc()
 		serveCached(w, r, ent)
 		return
 	}
-	s.trendCacheMisses.Inc()
-	// The pyramid cache reads the generation itself (before the
-	// records), so pgen is the generation the response truly reflects —
-	// it may lag gen by an in-flight append, which only means one extra
-	// rebuild on the next request.
-	pyr, pgen := s.pyramids.Pyramid(s.measurements, id, metric, fn)
+	var pyr *store.Pyramid
+	pgen := gen
+	if coldPump {
+		// Tiered read: the pyramid spans the cold scalar series merged
+		// under the hot series — built from the partitions' resident
+		// metric streams, never from decompressed waveforms.
+		pyr = s.mergedPyramid(id, metric, fn, gen, coldGen)
+	} else {
+		s.trendCacheMisses.Inc()
+		// The pyramid cache reads the generation itself (before the
+		// records), so pgen is the generation the response truly
+		// reflects — it may lag gen by an in-flight append, which only
+		// means one extra rebuild on the next request.
+		pyr, pgen = s.pyramids.Pyramid(s.measurements, id, metric, fn)
+	}
 	down := pyr.Downsample(points)
 	resp := TrendResponse{
 		PumpID:      id,
@@ -172,9 +190,10 @@ func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ent = &cachedResp{
-		gen:  pgen,
-		etag: fmt.Sprintf("\"trend-%d-%s-%d-%d\"", id, metric, points, pgen),
-		body: body,
+		gen:     pgen,
+		coldGen: coldGen,
+		etag:    fmt.Sprintf("\"trend-%d-%s-%d-%d-%d\"", id, metric, points, pgen, coldGen),
+		body:    body,
 	}
 	s.respMu.Lock()
 	s.respCache[key] = ent

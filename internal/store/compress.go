@@ -1,0 +1,381 @@
+package store
+
+import (
+	"io"
+	"math"
+	"math/bits"
+)
+
+// Cold-partition compression. Three Gorilla-style bit-stream codecs,
+// all round-trip exact (bit-identical for float64, value-identical for
+// int16) and allocation-free on the encode path when the destination
+// slice has capacity:
+//
+//   - CompressTimesInto: delta-of-delta over an order-preserving
+//     integer mapping of float64 service times. A series sampled on a
+//     regular schedule costs ~1 bit per timestamp after the first two.
+//   - CompressFloatsInto: XOR float compression for scalar feature
+//     series (RMS, velocity-RMS). Neighbouring values share exponent
+//     and leading mantissa bits, so the XOR is mostly zeros.
+//   - CompressInt16sInto: per-block bit-packed waveform samples with a
+//     per-block predictor (direct / delta / delta-of-delta). Vibration
+//     waveforms are locally smooth oscillations, so second differences
+//     need far fewer bits than the raw 16 per sample.
+//
+// None of the streams is self-delimiting: the caller (the partition
+// codec) records the element count and the byte length.
+
+// bitWriter appends MSB-first bits to a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur uint // bits buffered in cur (0..7)
+}
+
+// writeBits appends the low n bits of v, most significant first. n <= 64.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	for n > 0 {
+		free := 8 - w.nCur
+		if n < free {
+			w.cur = w.cur<<n | byte(v)
+			w.nCur += n
+			return
+		}
+		w.cur = w.cur<<free | byte(v>>(n-free))
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+		n -= free
+		if n > 0 {
+			v &= (1 << n) - 1
+		}
+	}
+}
+
+// finish flushes the partial byte (left-aligned) and returns the buffer.
+func (w *bitWriter) finish() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes MSB-first bits from a byte slice. Reads past the
+// end stick err and return zeros — decoders check err once at the end,
+// so corrupt input degrades to an error, never a panic.
+type bitReader struct {
+	buf []byte
+	pos int
+	bit uint // bits consumed of buf[pos]
+	err error
+}
+
+func (r *bitReader) readBits(n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		if r.pos >= len(r.buf) {
+			r.err = io.ErrUnexpectedEOF
+			return 0
+		}
+		avail := 8 - r.bit
+		take := n
+		if take > avail {
+			take = avail
+		}
+		b := r.buf[r.pos] >> (avail - take) & byte(1<<take-1)
+		v = v<<take | uint64(b)
+		r.bit += take
+		if r.bit == 8 {
+			r.pos++
+			r.bit = 0
+		}
+		n -= take
+	}
+	return v
+}
+
+// orderedBits maps a float64 to a uint64 such that the integer order
+// matches the float order (negatives flipped below positives). The
+// mapping is bijective on all bit patterns — NaNs and infinities
+// round-trip bit-identically — and turns a regular time schedule into
+// a near-constant integer stride, which is what delta-of-delta wants.
+func orderedBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+func fromOrderedBits(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// signExtend interprets the low k bits of u as a signed k-bit value.
+func signExtend(u uint64, k uint) int64 {
+	return int64(u<<(64-k)) >> (64 - k)
+}
+
+// writeDoD emits one delta-of-delta with Gorilla-style variable-width
+// buckets, widened to a 64-bit escape because the deltas here live in
+// the ordered-bits integer space of float64.
+func writeDoD(w *bitWriter, dod int64) {
+	switch {
+	case dod == 0:
+		w.writeBits(0b0, 1)
+	case -64 <= dod && dod < 64:
+		w.writeBits(0b10, 2)
+		w.writeBits(uint64(dod), 7)
+	case -2048 <= dod && dod < 2048:
+		w.writeBits(0b110, 3)
+		w.writeBits(uint64(dod), 12)
+	case -(1<<19) <= dod && dod < 1<<19:
+		w.writeBits(0b1110, 4)
+		w.writeBits(uint64(dod), 20)
+	case -(1<<31) <= dod && dod < 1<<31:
+		w.writeBits(0b11110, 5)
+		w.writeBits(uint64(dod), 32)
+	default:
+		w.writeBits(0b11111, 5)
+		w.writeBits(uint64(dod), 64)
+	}
+}
+
+func readDoD(r *bitReader) int64 {
+	if r.readBits(1) == 0 {
+		return 0
+	}
+	if r.readBits(1) == 0 {
+		return signExtend(r.readBits(7), 7)
+	}
+	if r.readBits(1) == 0 {
+		return signExtend(r.readBits(12), 12)
+	}
+	if r.readBits(1) == 0 {
+		return signExtend(r.readBits(20), 20)
+	}
+	if r.readBits(1) == 0 {
+		return signExtend(r.readBits(32), 32)
+	}
+	return int64(r.readBits(64))
+}
+
+// CompressTimesInto appends the delta-of-delta encoding of ts to dst
+// and returns the extended slice. Exact: DecompressTimesInto restores
+// every float64 bit-identically.
+func CompressTimesInto(dst []byte, ts []float64) []byte {
+	w := bitWriter{buf: dst}
+	if len(ts) == 0 {
+		return w.finish()
+	}
+	prev := orderedBits(ts[0])
+	w.writeBits(prev, 64)
+	var prevDelta int64
+	for _, t := range ts[1:] {
+		v := orderedBits(t)
+		delta := int64(v - prev)
+		writeDoD(&w, delta-prevDelta)
+		prev, prevDelta = v, delta
+	}
+	return w.finish()
+}
+
+// DecompressTimesInto fills out (whose length is the element count)
+// from a CompressTimesInto stream.
+func DecompressTimesInto(out []float64, src []byte) error {
+	if len(out) == 0 {
+		return nil
+	}
+	r := bitReader{buf: src}
+	prev := r.readBits(64)
+	out[0] = fromOrderedBits(prev)
+	var prevDelta int64
+	for i := 1; i < len(out); i++ {
+		delta := prevDelta + readDoD(&r)
+		prev += uint64(delta)
+		out[i] = fromOrderedBits(prev)
+		prevDelta = delta
+	}
+	return r.err
+}
+
+// CompressFloatsInto appends the XOR float encoding of vals to dst and
+// returns the extended slice. Exact for every bit pattern.
+func CompressFloatsInto(dst []byte, vals []float64) []byte {
+	w := bitWriter{buf: dst}
+	if len(vals) == 0 {
+		return w.finish()
+	}
+	prev := math.Float64bits(vals[0])
+	w.writeBits(prev, 64)
+	prevLead, prevTrail := uint(65), uint(65) // no reusable window yet
+	for _, f := range vals[1:] {
+		cur := math.Float64bits(f)
+		x := cur ^ prev
+		prev = cur
+		if x == 0 {
+			w.writeBits(0b0, 1)
+			continue
+		}
+		w.writeBits(0b1, 1)
+		lead := uint(bits.LeadingZeros64(x))
+		if lead > 31 {
+			lead = 31 // the control field is 5 bits
+		}
+		trail := uint(bits.TrailingZeros64(x))
+		if lead >= prevLead && trail >= prevTrail {
+			// The previous window still covers every significant bit.
+			w.writeBits(0b0, 1)
+			w.writeBits(x>>prevTrail, 64-prevLead-prevTrail)
+			continue
+		}
+		sig := 64 - lead - trail
+		w.writeBits(0b1, 1)
+		w.writeBits(uint64(lead), 5)
+		w.writeBits(uint64(sig-1), 6)
+		w.writeBits(x>>trail, sig)
+		prevLead, prevTrail = lead, trail
+	}
+	return w.finish()
+}
+
+// DecompressFloatsInto fills out from a CompressFloatsInto stream.
+func DecompressFloatsInto(out []float64, src []byte) error {
+	if len(out) == 0 {
+		return nil
+	}
+	r := bitReader{buf: src}
+	prev := r.readBits(64)
+	out[0] = math.Float64frombits(prev)
+	var lead, trail uint
+	for i := 1; i < len(out); i++ {
+		if r.readBits(1) == 0 {
+			out[i] = math.Float64frombits(prev)
+			continue
+		}
+		if r.readBits(1) == 1 {
+			lead = uint(r.readBits(5))
+			sig := uint(r.readBits(6)) + 1
+			trail = 64 - lead - sig
+		}
+		x := r.readBits(64-lead-trail) << trail
+		prev ^= x
+		out[i] = math.Float64frombits(prev)
+	}
+	return r.err
+}
+
+// int16Block is the waveform codec's block size: wide enough to
+// amortize the 7-bit block header, narrow enough that one noise spike
+// widens only its own neighbourhood.
+const int16Block = 128
+
+// Per-block predictors. Each block records which predictor minimized
+// its bit width; predictor state (the previous sample and delta) runs
+// across block boundaries so the choice is purely local.
+const (
+	int16ModeDirect = 0 // zigzag(value)
+	int16ModeDelta  = 1 // zigzag(first difference)
+	int16ModeDoD    = 2 // zigzag(second difference)
+)
+
+func zigzag32(v int32) uint64 { return uint64(uint32(v<<1) ^ uint32(v>>31)) }
+
+func unzigzag32(u uint64) int32 { return int32(uint32(u)>>1) ^ -int32(u&1) }
+
+// CompressInt16sInto appends the block-packed encoding of samples to
+// dst and returns the extended slice. Each block stores a 2-bit
+// predictor mode and a 5-bit width, then width bits per sample; smooth
+// oscillatory waveforms land on the delta-of-delta predictor at a
+// fraction of the raw 16 bits per sample.
+func CompressInt16sInto(dst []byte, samples []int16) []byte {
+	w := bitWriter{buf: dst}
+	prev, prevDelta := int32(0), int32(0)
+	for start := 0; start < len(samples); start += int16Block {
+		end := start + int16Block
+		if end > len(samples) {
+			end = len(samples)
+		}
+		blk := samples[start:end]
+		var wDirect, wDelta, wDoD uint
+		p, pd := prev, prevDelta
+		for _, s := range blk {
+			v := int32(s)
+			d := v - p
+			if n := uint(bits.Len64(zigzag32(v))); n > wDirect {
+				wDirect = n
+			}
+			if n := uint(bits.Len64(zigzag32(d))); n > wDelta {
+				wDelta = n
+			}
+			if n := uint(bits.Len64(zigzag32(d - pd))); n > wDoD {
+				wDoD = n
+			}
+			p, pd = v, d
+		}
+		mode, width := int16ModeDirect, wDirect
+		if wDelta < width {
+			mode, width = int16ModeDelta, wDelta
+		}
+		if wDoD < width {
+			mode, width = int16ModeDoD, wDoD
+		}
+		w.writeBits(uint64(mode), 2)
+		w.writeBits(uint64(width), 5)
+		p, pd = prev, prevDelta
+		for _, s := range blk {
+			v := int32(s)
+			d := v - p
+			switch mode {
+			case int16ModeDirect:
+				w.writeBits(zigzag32(v), width)
+			case int16ModeDelta:
+				w.writeBits(zigzag32(d), width)
+			default:
+				w.writeBits(zigzag32(d-pd), width)
+			}
+			p, pd = v, d
+		}
+		prev, prevDelta = p, pd
+	}
+	return w.finish()
+}
+
+// DecompressInt16sInto fills out from a CompressInt16sInto stream.
+func DecompressInt16sInto(out []int16, src []byte) error {
+	r := bitReader{buf: src}
+	prev, prevDelta := int32(0), int32(0)
+	for start := 0; start < len(out); start += int16Block {
+		end := start + int16Block
+		if end > len(out) {
+			end = len(out)
+		}
+		mode := int(r.readBits(2))
+		width := uint(r.readBits(5))
+		for i := start; i < end; i++ {
+			var raw int32
+			if width > 0 {
+				raw = unzigzag32(r.readBits(width))
+			}
+			var v int32
+			switch mode {
+			case int16ModeDirect:
+				v = raw
+			case int16ModeDelta:
+				v = prev + raw
+			default:
+				v = prev + prevDelta + raw
+			}
+			prevDelta = v - prev
+			prev = v
+			out[i] = int16(v)
+		}
+	}
+	return r.err
+}

@@ -1,0 +1,259 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkTimesRoundTrip asserts the times codec restores every float64
+// bit-identically.
+func checkTimesRoundTrip(t *testing.T, ts []float64) {
+	t.Helper()
+	enc := CompressTimesInto(nil, ts)
+	out := make([]float64, len(ts))
+	if err := DecompressTimesInto(out, enc); err != nil {
+		t.Fatalf("decompress times: %v", err)
+	}
+	for i := range ts {
+		if math.Float64bits(out[i]) != math.Float64bits(ts[i]) {
+			t.Fatalf("times[%d]: got %x want %x", i, math.Float64bits(out[i]), math.Float64bits(ts[i]))
+		}
+	}
+}
+
+func checkFloatsRoundTrip(t *testing.T, vals []float64) {
+	t.Helper()
+	enc := CompressFloatsInto(nil, vals)
+	out := make([]float64, len(vals))
+	if err := DecompressFloatsInto(out, enc); err != nil {
+		t.Fatalf("decompress floats: %v", err)
+	}
+	for i := range vals {
+		if math.Float64bits(out[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("floats[%d]: got %x want %x", i, math.Float64bits(out[i]), math.Float64bits(vals[i]))
+		}
+	}
+}
+
+func checkInt16RoundTrip(t *testing.T, samples []int16) {
+	t.Helper()
+	enc := CompressInt16sInto(nil, samples)
+	out := make([]int16, len(samples))
+	if err := DecompressInt16sInto(out, enc); err != nil {
+		t.Fatalf("decompress int16s: %v", err)
+	}
+	for i := range samples {
+		if out[i] != samples[i] {
+			t.Fatalf("samples[%d]: got %d want %d", i, out[i], samples[i])
+		}
+	}
+}
+
+func TestCompressTimesRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cases := [][]float64{
+		nil,
+		{0},
+		{1.5},
+		{0, 0, 0, 0},
+		{1, 2, 3, 4, 5},
+		{0.25, 0.5, 0.75, 1.0, 1.25}, // regular schedule
+		{-3.5, -1, 0, 1e-300, 2, math.MaxFloat64},
+		{math.Inf(-1), -1, 0, 1, math.Inf(1)},
+		{math.NaN(), 1, math.NaN()}, // NaN bit patterns survive
+	}
+	// Regular 10-minute-period schedule with jitter — the production
+	// shape — plus fully random times (unsorted is legal too).
+	sched := make([]float64, 2000)
+	for i := range sched {
+		sched[i] = float64(i)*(10.0/(60*24)) + rng.Float64()*1e-5
+	}
+	cases = append(cases, sched)
+	randTimes := make([]float64, 500)
+	for i := range randTimes {
+		randTimes[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+	}
+	cases = append(cases, randTimes)
+	for _, ts := range cases {
+		checkTimesRoundTrip(t, ts)
+	}
+}
+
+func TestCompressTimesRegularScheduleIsCompact(t *testing.T) {
+	ts := make([]float64, 4096)
+	for i := range ts {
+		ts[i] = float64(i) * 0.25 // exactly representable stride
+	}
+	enc := CompressTimesInto(nil, ts)
+	// 8 bytes for the first value, then ~1 bit per point for the
+	// constant stride (the stride in ordered-bits space shifts at
+	// exponent boundaries, costing a few wider deltas).
+	if max := 8 + len(ts)/4; len(enc) > max {
+		t.Fatalf("regular schedule encoded to %d bytes, want <= %d", len(enc), max)
+	}
+}
+
+func TestCompressFloatsRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cases := [][]float64{
+		nil,
+		{0},
+		{1.0, 1.0, 1.0, 1.0},
+		{1.0, 1.0000001, 1.0000002},
+		{0, math.Copysign(0, -1), 0}, // signed zeros are distinct bit patterns
+		{math.NaN(), math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64},
+	}
+	rms := make([]float64, 3000)
+	v := 0.02
+	for i := range rms {
+		v += rng.NormFloat64() * 1e-4
+		rms[i] = v
+	}
+	cases = append(cases, rms)
+	wild := make([]float64, 700)
+	for i := range wild {
+		wild[i] = math.Float64frombits(rng.Uint64())
+	}
+	cases = append(cases, wild)
+	for _, vals := range cases {
+		checkFloatsRoundTrip(t, vals)
+	}
+}
+
+func TestCompressInt16RoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cases := [][]int16{
+		nil,
+		{0},
+		{math.MinInt16, math.MaxInt16, math.MinInt16, math.MaxInt16},
+		make([]int16, 1000), // all zeros: near-free
+	}
+	// A vibration-like tone + noise waveform.
+	tone := make([]int16, 4096)
+	for i := range tone {
+		tone[i] = int16(1500*math.Sin(2*math.Pi*50*float64(i)/8000) + float64(rng.Intn(9)-4))
+	}
+	cases = append(cases, tone)
+	// Full-range random noise: must round-trip, may not compress.
+	noise := make([]int16, 2048)
+	for i := range noise {
+		noise[i] = int16(rng.Intn(1 << 16))
+	}
+	cases = append(cases, noise)
+	// Partial last block.
+	cases = append(cases, tone[:int16Block+17])
+	for _, samples := range cases {
+		checkInt16RoundTrip(t, samples)
+	}
+}
+
+// TestCompressInt16NoiseNeverExplodes pins the worst case: random data
+// costs at most ~17 bits/sample plus block headers, never a blow-up.
+func TestCompressInt16NoiseNeverExplodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	noise := make([]int16, 8192)
+	for i := range noise {
+		noise[i] = int16(rng.Intn(1 << 16))
+	}
+	enc := CompressInt16sInto(nil, noise)
+	maxBits := len(noise)*17 + (len(noise)/int16Block+1)*7 + 8
+	if len(enc)*8 > maxBits {
+		t.Fatalf("noise encoded to %d bits, want <= %d", len(enc)*8, maxBits)
+	}
+}
+
+// TestCompressInt16ToneRatio pins the acceptance-level compression on
+// an oscillatory waveform: well over 2x against the raw 16 bits/sample.
+func TestCompressInt16ToneRatio(t *testing.T) {
+	tone := make([]int16, 8192)
+	for i := range tone {
+		tone[i] = int16(1500 * math.Sin(2*math.Pi*50*float64(i)/8000))
+	}
+	enc := CompressInt16sInto(nil, tone)
+	raw := len(tone) * 2
+	if ratio := float64(raw) / float64(len(enc)); ratio < 2 {
+		t.Fatalf("tone compression ratio %.2f, want >= 2", ratio)
+	}
+}
+
+func TestCompressRandomizedRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(600)
+		ts := make([]float64, n)
+		fs := make([]float64, n)
+		ss := make([]int16, n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				ts[i] = float64(i) * 0.1
+				fs[i] = 1 + float64(i)*1e-6
+			case 1:
+				ts[i] = math.Float64frombits(rng.Uint64())
+				fs[i] = math.Float64frombits(rng.Uint64())
+			default:
+				ts[i] = rng.NormFloat64()
+				fs[i] = rng.NormFloat64()
+			}
+			ss[i] = int16(rng.Intn(1 << 16))
+		}
+		checkTimesRoundTrip(t, ts)
+		checkFloatsRoundTrip(t, fs)
+		checkInt16RoundTrip(t, ss)
+	}
+}
+
+// TestCompressTruncatedInputErrors pins that decoders report truncation
+// instead of panicking or fabricating data.
+func TestCompressTruncatedInputErrors(t *testing.T) {
+	ts := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	enc := CompressTimesInto(nil, ts)
+	out := make([]float64, len(ts))
+	if err := DecompressTimesInto(out, enc[:3]); err == nil {
+		t.Fatal("truncated times stream decoded without error")
+	}
+	fenc := CompressFloatsInto(nil, ts)
+	if err := DecompressFloatsInto(out, fenc[:5]); err == nil {
+		t.Fatal("truncated float stream decoded without error")
+	}
+	samples := make([]int16, 300)
+	for i := range samples {
+		samples[i] = int16(i * 37)
+	}
+	senc := CompressInt16sInto(nil, samples)
+	sout := make([]int16, len(samples))
+	if err := DecompressInt16sInto(sout, senc[:10]); err == nil {
+		t.Fatal("truncated int16 stream decoded without error")
+	}
+}
+
+// TestCompressIntoReusesCapacity pins the zero-alloc contract: with a
+// pre-sized destination the encoders allocate nothing.
+func TestCompressIntoReusesCapacity(t *testing.T) {
+	ts := make([]float64, 512)
+	for i := range ts {
+		ts[i] = float64(i) * 0.25
+	}
+	samples := make([]int16, 4096)
+	for i := range samples {
+		samples[i] = int16(1000 * math.Sin(float64(i)/10))
+	}
+	dst := make([]byte, 0, 1<<16)
+	if n := testing.AllocsPerRun(20, func() {
+		dst = CompressTimesInto(dst[:0], ts)
+		dst = CompressFloatsInto(dst[:0], ts)
+		dst = CompressInt16sInto(dst[:0], samples)
+	}); n != 0 {
+		t.Fatalf("encode allocated %.1f times per run, want 0", n)
+	}
+	tsOut := make([]float64, len(ts))
+	enc := CompressTimesInto(nil, ts)
+	if n := testing.AllocsPerRun(20, func() {
+		if err := DecompressTimesInto(tsOut, enc); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("decode allocated %.1f times per run, want 0", n)
+	}
+}

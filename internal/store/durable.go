@@ -22,6 +22,11 @@ type DurableOptions struct {
 	// kept unless a snapshot exists, which replaces them. Nil allocates
 	// a fresh store.
 	Store *Measurements
+	// Tiered, when non-nil, enables the cold tier: each checkpoint
+	// compacts records older than the hot window into compressed
+	// partitions (and applies retention) instead of letting history be
+	// bounded by the snapshot.
+	Tiered *TieredOptions
 }
 
 // RecoveryStats reports what OpenDurable reconstructed.
@@ -43,10 +48,14 @@ type CheckpointStats struct {
 	// Records is how many records the snapshot persisted.
 	Records int
 	// SegmentsRetired is how many fully-covered WAL segments were
-	// deleted.
+	// retired (their history lives on in the snapshot and, under
+	// tiering, the cold partitions).
 	SegmentsRetired int
 	// Duration is the wall-clock checkpoint time.
 	Duration time.Duration
+	// Compaction summarizes the tiering pass (zero when tiering is
+	// disabled).
+	Compaction CompactionStats
 }
 
 // Durable couples a Measurements store with a write-ahead log and
@@ -58,6 +67,11 @@ type Durable struct {
 	m   *Measurements
 	wal *WAL
 	dir string
+
+	// tiered/cold are set when DurableOptions.Tiered enabled the cold
+	// tier; both are nil otherwise.
+	tiered *TieredOptions
+	cold   *ColdStore
 
 	// ckptMu's read side is held across each append's WAL-write +
 	// memory-apply pair; the write side is held only while Checkpoint
@@ -119,6 +133,16 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, RecoveryStats, erro
 	}
 	metRecoveries.Inc()
 	d := &Durable{m: m, wal: wal, dir: dir, stopCh: make(chan struct{}), done: make(chan struct{})}
+	if opts.Tiered != nil {
+		t := opts.Tiered.withDefaults(dir)
+		cold, err := OpenColdStore(t.ColdDir)
+		if err != nil {
+			wal.Close()
+			return nil, stats, err
+		}
+		d.tiered = &t
+		d.cold = cold
+	}
 	return d, stats, nil
 }
 
@@ -131,6 +155,10 @@ func (d *Durable) Store() *Measurements { return d.m }
 
 // WAL returns the underlying log (for tests and metrics).
 func (d *Durable) WAL() *WAL { return d.wal }
+
+// Cold returns the cold partition store, or nil when tiering is
+// disabled. Reads that want full history merge it with Store().
+func (d *Durable) Cold() *ColdStore { return d.cold }
 
 // Add logs and applies one record. A nil error acknowledges the write
 // as durable per the WAL's sync policy; on error the record was
@@ -183,6 +211,20 @@ func (d *Durable) Checkpoint() (CheckpointStats, error) {
 		return CheckpointStats{}, err
 	}
 
+	// Tiering runs between the rotation and the snapshot: partitions
+	// are durable (temp/fsync/rename) before the covered hot records
+	// are evicted, the snapshot persists the post-eviction hot state,
+	// and only then are the WAL segments retired. A crash anywhere in
+	// that sequence leaves every acked record in at least one of
+	// {WAL, snapshot, partition}.
+	var compaction CompactionStats
+	if d.tiered != nil {
+		compaction, err = d.compact()
+		if err != nil {
+			return CheckpointStats{Compaction: compaction}, err
+		}
+	}
+
 	if err := d.m.SaveFile(filepath.Join(d.dir, snapshotName)); err != nil {
 		return CheckpointStats{}, fmt.Errorf("store: checkpoint snapshot: %w", err)
 	}
@@ -194,6 +236,7 @@ func (d *Durable) Checkpoint() (CheckpointStats, error) {
 		Records:         d.m.Len(),
 		SegmentsRetired: retired,
 		Duration:        time.Since(start),
+		Compaction:      compaction,
 	}
 	metCheckpoints.Inc()
 	metCheckpointDur.Observe(stats.Duration.Seconds())

@@ -237,6 +237,66 @@ func (m *Measurements) All(pumpID int) []*Record {
 	return out
 }
 
+// MaxServiceDays returns the largest service time held by any series,
+// or 0 when the store is empty. The compactor anchors its hot-window
+// cutoff on it.
+func (m *Measurements) MaxServiceDays() float64 {
+	var maxDays float64
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.byPump {
+			if n := len(s.recs); n > 0 && s.recs[n-1].ServiceDays > maxDays {
+				maxDays = s.recs[n-1].ServiceDays
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return maxDays
+}
+
+// EvictBefore removes every record with ServiceDays < cutoffDays for
+// which covered reports true, returning how many were removed. The
+// compactor uses it to drop hot records that a cold partition now
+// holds; records below the cutoff that no partition covers (late
+// arrivals landing behind an already-written partition) are kept, so
+// eviction can never lose data. Every mutated series gets a fresh
+// generation.
+func (m *Measurements) EvictBefore(cutoffDays float64, covered func(pumpID int, serviceDays float64) bool) int {
+	evicted := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.byPump {
+			recs := s.recs
+			n := sort.Search(len(recs), func(i int) bool {
+				return recs[i].ServiceDays >= cutoffDays
+			})
+			if n == 0 {
+				continue
+			}
+			kept := recs[:0:0]
+			removed := 0
+			for _, rec := range recs[:n] {
+				if covered(id, rec.ServiceDays) {
+					removed++
+				} else {
+					kept = append(kept, rec)
+				}
+			}
+			if removed == 0 {
+				continue
+			}
+			s.recs = append(kept, recs[n:]...)
+			m.bump(s)
+			evicted += removed
+		}
+		sh.mu.Unlock()
+	}
+	m.count.Add(int64(-evicted))
+	return evicted
+}
+
 // Latest returns the most recent record of a pump, or nil.
 func (m *Measurements) Latest(pumpID int) *Record {
 	sh := m.shardFor(pumpID)

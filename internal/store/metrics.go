@@ -33,6 +33,21 @@ var (
 	// segment mirrors in this process (internal/cluster drives these).
 	metClusterFramesShipped = obs.Default.Counter("vibepm_cluster_frames_shipped_total")
 	metClusterShipBytes     = obs.Default.Counter("vibepm_cluster_ship_bytes_total")
+
+	// Cold-tier metrics: the compactor's partition writes, hot-side
+	// evictions, and retention drops. The byte counters are what the
+	// `vibectl storage status` compression ratio is derived from when
+	// scraping rather than querying.
+	metColdPartitionsWritten = obs.Default.Counter("vibepm_store_cold_partitions_written_total")
+	metColdPartitionsDropped = obs.Default.Counter("vibepm_store_cold_partitions_dropped_total")
+	metColdRecordsCompacted  = obs.Default.Counter("vibepm_store_cold_records_compacted_total")
+	metColdRecordsEvicted    = obs.Default.Counter("vibepm_store_cold_records_evicted_total")
+	metColdBytesWritten      = obs.Default.Counter("vibepm_store_cold_compressed_bytes_total")
+	metColdRawBytesCompacted = obs.Default.Counter("vibepm_store_cold_raw_bytes_total")
+	// metColdHotStragglers gauges records below the cold coverage bound
+	// that no partition holds (late arrivals): they stay hot forever by
+	// design, and an operator watching this gauge sees how many.
+	metColdHotStragglers = obs.Default.Gauge("vibepm_store_cold_hot_stragglers")
 )
 
 // rawBytes is the in-memory payload size of one record: three int16

@@ -507,6 +507,13 @@ func (w *WAL) Rotate() (int, error) {
 // Retire deletes every segment with index < cut — they are fully
 // covered by a snapshot taken after Rotate returned cut. Returns how
 // many segments were removed.
+//
+// On a partial failure the prefix that did get removed is still
+// accounted: firstSeg advances to the segment that failed and the
+// retired metric counts the removals that happened. Without that, a
+// retry of Retire would start over at the old firstSeg, see IsNotExist
+// for the already-removed segments, and never count them — the metric
+// would under-report forever.
 func (w *WAL) Retire(cut int) (int, error) {
 	w.mu.Lock()
 	first := w.firstSeg
@@ -518,19 +525,27 @@ func (w *WAL) Retire(cut int) (int, error) {
 	for seg := first; seg < cut; seg++ {
 		err := os.Remove(segmentPath(w.dir, seg))
 		if err != nil && !os.IsNotExist(err) {
+			w.advanceRetiredTo(seg, removed)
 			return removed, fmt.Errorf("store: wal retire: %w", err)
 		}
 		if err == nil {
 			removed++
 		}
 	}
+	w.advanceRetiredTo(cut, removed)
+	return removed, nil
+}
+
+// advanceRetiredTo commits the outcome of a (possibly partial) Retire
+// pass: every segment below upTo is gone from disk, and removed of them
+// were deleted by this pass.
+func (w *WAL) advanceRetiredTo(upTo, removed int) {
 	w.mu.Lock()
-	if cut > w.firstSeg {
-		w.firstSeg = cut
+	if upTo > w.firstSeg {
+		w.firstSeg = upTo
 	}
 	w.mu.Unlock()
 	metWALSegRetired.Add(uint64(removed))
-	return removed, nil
 }
 
 // Close syncs and closes the current segment. Further appends fail.

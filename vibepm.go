@@ -57,6 +57,9 @@ type AnalysisPeriod = store.AnalysisPeriod
 // Measurements is the embedded time-series store for records.
 type Measurements = store.Measurements
 
+// ColdStore aliases the tiered storage cold-partition store.
+type ColdStore = store.ColdStore
+
 // Labels is the store for expert annotations.
 type Labels = store.Labels
 
