@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs race-wal race-stream race-cluster race-compact bench bench-dsp bench-snapshot bench-check load-smoke load-cluster experiments experiments-paper chaos crash-trials cover fuzz clean
+.PHONY: all build test vet race race-obs race-wal race-stream race-cluster race-compact race-recovery bench bench-dsp bench-snapshot bench-check load-smoke load-cluster experiments experiments-paper chaos crash-trials cover fuzz clean
 
 all: build vet test
 
@@ -46,6 +46,17 @@ race-cluster:
 	$(GO) test -race -short -run 'TestCluster|TestRouter|TestRing' -count=1 ./internal/cluster/
 	$(GO) test -race -run 'TestMirror|TestOnFrame' -count=1 ./internal/store/
 
+# The parallel recovery pipeline under the race detector: the
+# sequential-vs-parallel replay equivalence suite (worker pools over
+# CRC/decode with in-order apply), the parallel snapshot loader, the
+# warm-up worker-invariance and warm-during-ingest probes, and the
+# cluster crash trial that pins identical failover outcomes at every
+# worker count.
+race-recovery:
+	$(GO) test -race -run 'TestParallelReplay|TestLoadFileWorkers' -count=1 ./internal/store/
+	$(GO) test -race -run 'TestWarmWorkerInvariance|TestWarmConcurrentIngest' -count=1 ./internal/stream/
+	$(GO) test -race -run 'TestClusterCrashParallelReplayMatchesSequential' -count=1 ./internal/cluster/
+
 # The tiered-storage suite under the race detector: the compaction
 # crash-point sweep (hot ∪ cold == acked at every partition-write byte
 # offset), the tiered checkpoint/retention tests, and the hot/cold
@@ -62,23 +73,23 @@ bench:
 bench-dsp:
 	$(GO) test -bench=. -benchmem ./internal/dsp/
 
-# Refresh the committed hot-path snapshot. BENCH_PR8.json is the
-# current full-suite snapshot (the PR2-PR7 cases plus the tiered
-# storage codec/scan cases and the p99-gated ingest-during-compaction
-# case); the earlier BENCH_PR*.json files are kept as the historical
-# records of the earlier passes. Volatile cases (per-op fsync) run but
-# are excluded from the written file.
+# Refresh the committed hot-path snapshot. BENCH_PR9.json is the
+# current full-suite snapshot (the PR2-PR8 cases plus the recovery
+# pipeline cases: WAL replay, live warm-up, failover bootstrap); the
+# earlier BENCH_PR*.json files are kept as the historical records of
+# the earlier passes. Volatile cases (per-op fsync) run but are
+# excluded from the written file.
 bench-snapshot:
-	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR8.json
+	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR9.json
 
 # Re-run the hot-path suite once and fail if any case drifts more than
 # ±30% from the committed snapshot (or regresses its allocation count
-# or a gated p99). BENCH_PR8.json covers the full suite with numbers
+# or a gated p99). BENCH_PR9.json covers the full suite with numbers
 # this machine can currently reproduce; -benchgate accepts a
 # comma-separated list when gating several snapshots at once. Failures
 # print a per-case diff (seed value, measured value, ratio).
 bench-check:
-	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR8.json
+	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR9.json
 
 # End-to-end throughput smoke: boot vibed -simulate, drive it with the
 # vibebench closed-loop read mix, and fail unless requests succeed.

@@ -213,7 +213,12 @@ func benchSuite() ([]benchCase, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(cases, pr8...), nil
+	cases = append(cases, pr8...)
+	pr9, err := benchSuitePR9()
+	if err != nil {
+		return nil, err
+	}
+	return append(cases, pr9...), nil
 }
 
 // baselineFor looks a case up across the per-PR baseline maps.
@@ -225,6 +230,9 @@ func baselineFor(name string) (benchResult, bool) {
 		return base, true
 	}
 	if base, ok := prePR6Baseline[name]; ok {
+		return base, true
+	}
+	if base, ok := prePR9Baseline[name]; ok {
 		return base, true
 	}
 	return benchResult{}, false

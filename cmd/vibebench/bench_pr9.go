@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vibepm/internal/store"
+	"vibepm/internal/stream"
+)
+
+// prePR9Baseline records the recovery-path timings measured immediately
+// before the parallel recovery pipeline landed, with benchmark shapes
+// identical to the current suite:
+//
+//   - Recovery100k replayed the same 100k-record WAL through the
+//     sequential single-goroutine replayer (scan, CRC, decode and apply
+//     interleaved on one core);
+//   - WarmLive40x10k warmed the same 40-pump/10k-record store through
+//     the old Warm, which ignored its workers parameter and folded
+//     every pump serially;
+//   - FailoverBootstrap shipped the same 5k bootstrap records through
+//     per-record SegmentMirror.AppendRecord calls — one frame encode
+//     and one file write syscall per record.
+//
+// The reference machine is single-core (GOMAXPROCS=1), so the replay
+// and warm cases gate the pipeline's bookkeeping overhead rather than
+// its parallel speedup — the ≥3× win needs a multi-core runner, where
+// workers=0 resolves to GOMAXPROCS. FailoverBootstrap's gain is
+// syscall batching and shows on any core count.
+var prePR9Baseline = map[string]benchResult{
+	"Recovery100k":      {NsPerOp: 103335944, AllocsPerOp: 800662},
+	"WarmLive40x10k":    {NsPerOp: 63745874, AllocsPerOp: 75159},
+	"FailoverBootstrap": {NsPerOp: 11829516, AllocsPerOp: 10030},
+}
+
+// pr9Record builds one deterministic synthetic record. Payload content
+// is irrelevant to replay/warm/bootstrap cost, so a seeded rng replaces
+// the full MEMS model and keeps the 100k-record corpus cheap to build.
+func pr9Record(rng *rand.Rand, pump int, day float64, samples int) *store.Record {
+	rec := &store.Record{
+		PumpID:       pump,
+		ServiceDays:  day,
+		SampleRateHz: 3200,
+		ScaleG:       16,
+	}
+	for axis := 0; axis < 3; axis++ {
+		w := make([]int16, samples)
+		for i := range w {
+			w[i] = int16(rng.Intn(4096) - 2048)
+		}
+		rec.Raw[axis] = w
+	}
+	return rec
+}
+
+// pr9Records synthesizes count unique-keyed records across pumps.
+func pr9Records(pumps, perPump, samples int, seed int64) []*store.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]*store.Record, 0, pumps*perPump)
+	for p := 0; p < pumps; p++ {
+		for i := 0; i < perPump; i++ {
+			recs = append(recs, pr9Record(rng, p, float64(i)*0.25, samples))
+		}
+	}
+	return recs
+}
+
+// pr9WALDir writes the recovery corpus once, outside every timing: a
+// multi-segment WAL whose replay is the whole measured operation.
+func pr9WALDir(recs []*store.Record) (string, error) {
+	dir, err := os.MkdirTemp("", "vibebench-recovery")
+	if err != nil {
+		return "", err
+	}
+	w, err := store.OpenWAL(dir, store.WALOptions{Policy: store.SyncNever})
+	if err != nil {
+		return "", err
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			return "", err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// benchSuitePR9 assembles the recovery-pipeline cases: WAL replay into
+// a fresh store (the restart cost a node pays before serving), live
+// warm-up over a multi-pump fleet, and failover bootstrap shipping a
+// dead primary's records to its new mirror. All three run the
+// post-optimization paths with workers=0, so on a multi-core runner
+// they fan out to GOMAXPROCS while the committed baselines stay the
+// sequential code's cost.
+func benchSuitePR9() ([]benchCase, error) {
+	const (
+		recoveryPumps   = 40
+		recoveryPerPump = 2500 // 100k records total
+		recoverySamples = 64
+	)
+	recoveryRecs := pr9Records(recoveryPumps, recoveryPerPump, recoverySamples, 91)
+	walDir, err := pr9WALDir(recoveryRecs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: recovery corpus: %w", err)
+	}
+
+	// The warm corpus: 40 pumps × 250 records, the shape of a mid-size
+	// fleet restart (10k live-state folds per warm).
+	warm := store.NewMeasurements()
+	for _, rec := range pr9Records(40, 250, 64, 92) {
+		warm.AddUnique(rec)
+	}
+
+	bootRecs := pr9Records(8, 625, 64, 93) // 5k bootstrap records
+	mirrorParent, err := os.MkdirTemp("", "vibebench-bootstrap")
+	if err != nil {
+		return nil, err
+	}
+
+	cases := []benchCase{
+		{"Recovery100k", func(b *testing.B) {
+			want := len(recoveryRecs)
+			b.ReportAllocs()
+			for b.Loop() {
+				m := store.NewMeasurements()
+				stats, err := store.ReplayWALWorkers(walDir, func(rec *store.Record) error {
+					m.AddUnique(rec)
+					return nil
+				}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Records != want {
+					b.Fatalf("replayed %d records, want %d", stats.Records, want)
+				}
+			}
+		}},
+		{"WarmLive40x10k", func(b *testing.B) {
+			want := warm.Len()
+			b.ReportAllocs()
+			for b.Loop() {
+				ls := stream.NewLiveState(stream.Config{})
+				if total := ls.Warm(warm, 0); total != want {
+					b.Fatalf("warmed %d records, want %d", total, want)
+				}
+			}
+		}},
+		{"FailoverBootstrap", func(b *testing.B) {
+			b.ReportAllocs()
+			iter := 0
+			for b.Loop() {
+				dir := filepath.Join(mirrorParent, fmt.Sprintf("it%d", iter))
+				iter++
+				m, err := store.NewSegmentMirror(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, err := m.AppendRecords(1, bootRecs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != len(bootRecs) {
+					b.Fatalf("shipped %d records, want %d", n, len(bootRecs))
+				}
+				if err := m.Close(); err != nil {
+					b.Fatal(err)
+				}
+				os.RemoveAll(dir)
+			}
+		}},
+	}
+	return cases, nil
+}

@@ -120,6 +120,7 @@ func main() {
 	// Durable ingestion: recover snapshot + WAL into the corpus store,
 	// then log every ingest before acking it.
 	var durable *store.Durable
+	var rstats store.RecoveryStats
 	if *tiered && *walDir == "" {
 		fmt.Fprintln(os.Stderr, "-tiered needs -wal-dir")
 		os.Exit(2)
@@ -148,19 +149,22 @@ func main() {
 				Retention:     pol,
 			}
 		}
-		d, rstats, err := store.OpenDurable(*walDir, dopts)
+		d, rs, err := store.OpenDurable(*walDir, dopts)
 		if err != nil {
 			logger.Error("open durable store failed", "dir", *walDir, "err", err)
 			os.Exit(1)
 		}
 		durable = d
+		rstats = rs
 		logger.Info("durable store recovered",
 			"dir", *walDir,
 			"snapshot_loaded", rstats.SnapshotLoaded,
 			"snapshot_records", rstats.SnapshotRecords,
+			"snapshot_load_ms", rstats.SnapshotLoadDuration.Milliseconds(),
 			"wal_segments", rstats.Replay.Segments,
 			"wal_records_replayed", rstats.Replayed,
 			"wal_truncations", rstats.Replay.Truncations,
+			"replay_ms", rstats.ReplayDuration.Milliseconds(),
 			"fsync", policy.String(),
 		)
 		if c := durable.Cold(); c != nil {
@@ -197,9 +201,35 @@ func main() {
 	// once up front (the warm-up), then keep the cache current from the
 	// ingest endpoint, so trend and fleet queries stay O(new data).
 	live := eng.EnableLive()
+
+	// When recovery replayed WAL records (or repaired torn frames),
+	// fold them into a fresh snapshot right away so the next restart
+	// skips the replay. The checkpoint is I/O-bound and the warm-up is
+	// CPU-bound, and both only read the recovered store — so they run
+	// concurrently instead of stacking their latencies.
+	var ckptDone chan struct{}
+	if durable != nil && (rstats.Replayed > 0 || rstats.Replay.Truncated()) {
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			cs, err := durable.Checkpoint()
+			if err != nil {
+				logger.Warn("post-recovery checkpoint failed", "err", err)
+				return
+			}
+			logger.Info("post-recovery checkpoint",
+				"records", cs.Records,
+				"segments_retired", cs.SegmentsRetired,
+				"took_ms", cs.Duration.Milliseconds(),
+			)
+		}()
+	}
 	warmStart := time.Now()
 	warmed := eng.WarmLive()
-	logger.Info("live state warmed", "records", warmed, "took", time.Since(warmStart).String())
+	logger.Info("live state warmed", "records", warmed, "warm_ms", time.Since(warmStart).Milliseconds())
+	if ckptDone != nil {
+		<-ckptDone
+	}
 	if err := eng.Fit(); err != nil {
 		logger.Error("fit failed", "err", err)
 		os.Exit(1)

@@ -123,6 +123,10 @@ type CrashTrialConfig struct {
 	// with a checkpoint and reopens it once more, asserting the
 	// snapshot+retire path reproduces the same contents.
 	CleanClose bool
+	// ReplayWorkers is the recovery parallelism every reopen in the
+	// trial uses (<= 0 GOMAXPROCS, 1 sequential) — the sweep pins it
+	// above 1 to prove recovered == acked under the parallel replayer.
+	ReplayWorkers int
 }
 
 // CrashTrialResult reports one trial.
@@ -200,7 +204,7 @@ func RunCrashTrial(cfg CrashTrialConfig) (CrashTrialResult, error) {
 	res.Crashed = budget.Crashed()
 	res.WALBytes = budget.Written()
 
-	recovered, _, err := store.OpenDurable(cfg.Dir, store.DurableOptions{})
+	recovered, _, err := store.OpenDurable(cfg.Dir, store.DurableOptions{ReplayWorkers: cfg.ReplayWorkers})
 	if err != nil {
 		return res, fmt.Errorf("reopen after crash: %w", err)
 	}
@@ -215,7 +219,7 @@ func RunCrashTrial(cfg CrashTrialConfig) (CrashTrialResult, error) {
 		if err := recovered.Close(); err != nil {
 			return res, fmt.Errorf("clean close: %w", err)
 		}
-		again, _, err := store.OpenDurable(cfg.Dir, store.DurableOptions{})
+		again, _, err := store.OpenDurable(cfg.Dir, store.DurableOptions{ReplayWorkers: cfg.ReplayWorkers})
 		if err != nil {
 			return res, fmt.Errorf("reopen after checkpoint: %w", err)
 		}

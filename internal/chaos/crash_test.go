@@ -45,6 +45,10 @@ func TestCrashPointHarness(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(7))
 	policies := []store.SyncPolicy{store.SyncAlways, store.SyncNever, store.SyncInterval}
+	// The sweep alternates recovery parallelism so recovered == acked
+	// is proven at every crash offset under the parallel replayer and
+	// the sequential one alike.
+	workerCycle := []int{4, 1, 0}
 	trials := 0
 	for off := int64(1); off <= total; off += stride {
 		jitter := rng.Int63n(stride + 1) // keeps offsets seeded, not just a grid
@@ -53,6 +57,7 @@ func TestCrashPointHarness(t *testing.T) {
 		cfg.CrashAfterBytes = min64(off+jitter, total)
 		cfg.Policy = policies[trials%len(policies)]
 		cfg.CleanClose = trials%8 == 0 // every 8th trial also checkpoints + reopens
+		cfg.ReplayWorkers = workerCycle[trials%len(workerCycle)]
 		res, err := RunCrashTrial(cfg)
 		if err != nil {
 			t.Fatalf("trial %d (crash at byte %d, policy %v): %v",
@@ -73,6 +78,7 @@ func TestCrashPointHarness(t *testing.T) {
 		cfg := base
 		cfg.Dir = t.TempDir()
 		cfg.CrashAfterBytes = off
+		cfg.ReplayWorkers = 4
 		res, err := RunCrashTrial(cfg)
 		if err != nil {
 			t.Fatalf("boundary trial (crash at byte %d): %v", off, err)

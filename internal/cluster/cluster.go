@@ -23,6 +23,10 @@ type Options struct {
 	// interposer — the chaos harness uses it to arm a crash budget on
 	// exactly one victim node.
 	WrapFileFor func(node string) func(path string, f *os.File) store.SegmentFile
+	// ReplayWorkers bounds recovery parallelism on every replay the
+	// cluster runs: node boot recovery and dead-primary mirror replay
+	// at failover. <= 0 means GOMAXPROCS; 1 forces sequential replay.
+	ReplayWorkers int
 }
 
 // Node is one cluster member: a durable store plus the replication
@@ -143,7 +147,7 @@ func Open(dir string, names []string, opts Options) (*Cluster, error) {
 				_ = s.Seal(seg)
 			}
 		}
-		d, _, err := store.OpenDurable(n.dir, store.DurableOptions{WAL: wopts})
+		d, _, err := store.OpenDurable(n.dir, store.DurableOptions{WAL: wopts, ReplayWorkers: opts.ReplayWorkers})
 		if err != nil {
 			c.abortAll()
 			return nil, fmt.Errorf("cluster: open node %s: %w", name, err)
@@ -305,16 +309,17 @@ func (c *Cluster) Kill(name string) (FailoverStats, error) {
 	fn := c.nodes[follower]
 
 	// Promote: replay the mirror of the dead node and push every record
-	// through post-removal routing. ReplayWAL applies the same
-	// CRC-authenticate-or-truncate rules as node recovery, so the
-	// mirror's acked prefix — which synchronous shipping guarantees is
-	// complete — is exactly what redistributes.
+	// through post-removal routing. The parallel replayer applies the
+	// same CRC-authenticate-or-truncate rules as node recovery (frame
+	// verification fans across workers; apply stays in frame order), so
+	// the mirror's acked prefix — which synchronous shipping guarantees
+	// is complete — is exactly what redistributes.
 	if m := fn.hosted[name]; m != nil {
 		if err := m.Close(); err != nil {
 			return stats, fmt.Errorf("cluster: close mirror of %s: %w", name, err)
 		}
 		delete(fn.hosted, name)
-		rstats, err := store.ReplayWAL(m.Dir(), func(rec *store.Record) error {
+		rstats, err := store.ReplayWALWorkers(m.Dir(), func(rec *store.Record) error {
 			stats.MirrorRecords++
 			owner := c.ring.Route(rec.PumpID)
 			on := c.nodes[owner]
@@ -330,7 +335,7 @@ func (c *Cluster) Kill(name string) (FailoverStats, error) {
 				metFailoverRecords.Inc()
 			}
 			return nil
-		})
+		}, c.opts.ReplayWorkers)
 		if err != nil {
 			return stats, fmt.Errorf("cluster: promote %s from %s: %w", name, follower, err)
 		}
@@ -352,15 +357,20 @@ func (c *Cluster) Kill(name string) (FailoverStats, error) {
 			if err != nil {
 				return stats, err
 			}
+			// Seed in one batched pass: collect the predecessor's store
+			// and ship it through AppendRecords — byte-identical frames to
+			// the old per-record loop, at ~1 MiB per syscall instead of
+			// one Write (and one mirror lock round-trip) per record.
 			seg := pn.d.WAL().Segment()
 			ps := pn.d.Store()
+			var seed []*store.Record
 			for _, id := range ps.Pumps() {
-				for _, rec := range ps.All(id) {
-					if err := m.AppendRecord(seg, rec); err != nil {
-						return stats, fmt.Errorf("cluster: bootstrap %s -> %s: %w", pred, next, err)
-					}
-					stats.BootstrapRecords++
-				}
+				seed = append(seed, ps.All(id)...)
+			}
+			appended, err := m.AppendRecords(seg, seed)
+			stats.BootstrapRecords += appended
+			if err != nil {
+				return stats, fmt.Errorf("cluster: bootstrap %s -> %s: %w", pred, next, err)
 			}
 			if err := m.Sync(); err != nil {
 				return stats, err
@@ -491,4 +501,3 @@ func (c *Cluster) abortAll() {
 		}
 	}
 }
-

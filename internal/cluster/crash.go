@@ -45,6 +45,11 @@ type ClusterCrashConfig struct {
 	// cleanly and reboots it from disk, asserting recovery reproduces
 	// the same cluster-wide contents.
 	Reopen bool
+	// ReplayWorkers is the recovery parallelism every cluster open and
+	// failover in the trial uses (<= 0 GOMAXPROCS, 1 sequential) — the
+	// sweep pins it above 1 to prove the contract holds under the
+	// parallel replayer.
+	ReplayWorkers int
 }
 
 // ClusterCrashResult reports one trial.
@@ -131,6 +136,7 @@ func RunClusterCrashTrial(cfg ClusterCrashConfig) (ClusterCrashResult, error) {
 			}
 			return nil
 		},
+		ReplayWorkers: cfg.ReplayWorkers,
 	})
 	killed := false
 	if err != nil {
@@ -149,7 +155,8 @@ func RunClusterCrashTrial(cfg ClusterCrashConfig) (ClusterCrashResult, error) {
 			}
 		}
 		c, err = Open(cfg.Dir, survivors, Options{
-			WAL: store.WALOptions{SegmentBytes: cfg.SegmentBytes, Policy: cfg.Policy},
+			WAL:           store.WALOptions{SegmentBytes: cfg.SegmentBytes, Policy: cfg.Policy},
+			ReplayWorkers: cfg.ReplayWorkers,
 		})
 		if err != nil {
 			return res, fmt.Errorf("open cluster without victim: %w", err)
@@ -253,7 +260,8 @@ func RunClusterCrashTrial(cfg ClusterCrashConfig) (ClusterCrashResult, error) {
 			return res, fmt.Errorf("clean close: %w", err)
 		}
 		again, err := Open(cfg.Dir, survivors, Options{
-			WAL: store.WALOptions{SegmentBytes: cfg.SegmentBytes, Policy: cfg.Policy},
+			WAL:           store.WALOptions{SegmentBytes: cfg.SegmentBytes, Policy: cfg.Policy},
+			ReplayWorkers: cfg.ReplayWorkers,
 		})
 		if err != nil {
 			return res, fmt.Errorf("reopen cluster: %w", err)

@@ -53,6 +53,10 @@ func TestClusterNodeKillSweep(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(3))
 	policies := []store.SyncPolicy{store.SyncAlways, store.SyncNever, store.SyncInterval}
+	// Alternate recovery parallelism so boot recovery, mirror replay at
+	// promotion, and reopen all run under the parallel replayer for
+	// most offsets (and stay swept sequentially too).
+	workerCycle := []int{4, 1, 0}
 	trials := 0
 	for off := int64(1); off <= total; off += stride {
 		jitter := rng.Int63n(stride + 1)
@@ -62,6 +66,7 @@ func TestClusterNodeKillSweep(t *testing.T) {
 		cfg.Policy = policies[trials%len(policies)]
 		cfg.Reingest = trials%3 == 0
 		cfg.Reopen = trials%8 == 0
+		cfg.ReplayWorkers = workerCycle[trials%len(workerCycle)]
 		res, err := RunClusterCrashTrial(cfg)
 		if err != nil {
 			t.Fatalf("trial %d (crash at byte %d, policy %v): %v",
@@ -87,6 +92,7 @@ func TestClusterNodeKillSweep(t *testing.T) {
 		cfg.Dir = t.TempDir()
 		cfg.CrashAfterBytes = off
 		cfg.Reingest = true
+		cfg.ReplayWorkers = 4
 		if _, err := RunClusterCrashTrial(cfg); err != nil {
 			t.Fatalf("boundary trial (crash at byte %d): %v", off, err)
 		}
@@ -135,6 +141,36 @@ func TestClusterCrashTrialDeterminism(t *testing.T) {
 	}
 	if a.Acked >= a.Attempted {
 		t.Fatalf("crash should cut some ingests short: %+v", a)
+	}
+}
+
+// TestClusterCrashParallelReplayMatchesSequential runs identical
+// crash trials with sequential and parallel recovery and asserts the
+// full trial outcome — acked, recovered, failover stats — is
+// identical: recovery parallelism must be observable only as speed.
+func TestClusterCrashParallelReplayMatchesSequential(t *testing.T) {
+	for _, off := range []int64{600, 1500, 2800, 4100} {
+		run := func(workers int) ClusterCrashResult {
+			res, err := RunClusterCrashTrial(ClusterCrashConfig{
+				Dir:             t.TempDir(),
+				Nodes:           3,
+				Seed:            23,
+				Records:         44,
+				CrashAfterBytes: off,
+				SegmentBytes:    1 << 11,
+				Policy:          store.SyncAlways,
+				Reingest:        true,
+				ReplayWorkers:   workers,
+			})
+			if err != nil {
+				t.Fatalf("offset %d workers %d: %v", off, workers, err)
+			}
+			return res
+		}
+		seq, par := run(1), run(4)
+		if seq != par {
+			t.Fatalf("offset %d: trial outcomes diverge\nsequential: %+v\nparallel:   %+v", off, seq, par)
+		}
 	}
 }
 

@@ -27,6 +27,10 @@ type DurableOptions struct {
 	// partitions (and applies retention) instead of letting history be
 	// bounded by the snapshot.
 	Tiered *TieredOptions
+	// ReplayWorkers bounds recovery parallelism (snapshot decode and
+	// WAL frame verification). <= 0 means GOMAXPROCS; 1 forces the
+	// sequential recovery path.
+	ReplayWorkers int
 }
 
 // RecoveryStats reports what OpenDurable reconstructed.
@@ -41,6 +45,11 @@ type RecoveryStats struct {
 	// Replayed is how many replayed records actually landed (records
 	// already covered by the snapshot dedupe away).
 	Replayed int
+	// SnapshotLoadDuration is the wall-clock time spent decoding the
+	// snapshot into the store (zero when no snapshot exists).
+	SnapshotLoadDuration time.Duration
+	// ReplayDuration is the wall-clock time spent replaying the WAL.
+	ReplayDuration time.Duration
 }
 
 // CheckpointStats reports one checkpoint.
@@ -109,22 +118,28 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, RecoveryStats, erro
 	}
 	snapPath := filepath.Join(dir, snapshotName)
 	if _, err := os.Stat(snapPath); err == nil {
-		if err := m.LoadFile(snapPath); err != nil {
+		start := time.Now()
+		if err := m.LoadFileWorkers(snapPath, opts.ReplayWorkers); err != nil {
 			return nil, stats, fmt.Errorf("store: load snapshot: %w", err)
 		}
+		stats.SnapshotLoadDuration = time.Since(start)
 		stats.SnapshotLoaded = true
 		stats.SnapshotRecords = m.Len()
+		metRecoverySnapDur.Observe(stats.SnapshotLoadDuration.Seconds())
 	}
 	replayed := 0
+	replayStart := time.Now()
 	rstats, err := replayWAL(walDir(dir), func(rec *Record) error {
 		if m.AddUnique(rec) {
 			replayed++
 		}
 		return nil
-	}, true)
+	}, true, opts.ReplayWorkers)
 	if err != nil {
 		return nil, stats, err
 	}
+	stats.ReplayDuration = time.Since(replayStart)
+	metRecoveryReplayDur.Observe(stats.ReplayDuration.Seconds())
 	stats.Replay = rstats
 	stats.Replayed = replayed
 	wal, err := OpenWAL(walDir(dir), opts.WAL)

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"vibepm/internal/par"
+)
+
+// Parallel snapshot load.
+//
+// The record format is self-delimiting from its header alone: a
+// 30-byte header whose last field is k, the per-axis sample count, so
+// the record occupies exactly 30 + 6k bytes. That makes boundary
+// scanning trivially cheap — read 30 bytes, skip 6k — while the
+// expensive part (decoding 6k bytes of samples into three []int16
+// slices) is per-record pure. LoadFileWorkers exploits the split: one
+// sequential pass locates every record span and validates the header
+// fields, then the decode fans out across workers, and the decoded
+// series install through the same installLoaded helper Load uses, in
+// file order, so the result is byte-identical to a sequential Load
+// under a canonical Save.
+
+// recordSpan locates one record inside a snapshot byte slice.
+type recordSpan struct {
+	start, end int
+}
+
+// LoadFileWorkers reads a store from path like LoadFile, decoding
+// records across workers. workers <= 0 means GOMAXPROCS; an effective
+// count of 1 takes the sequential LoadFile path (and never buffers the
+// whole file). The replacement semantics, accepted inputs, and
+// resulting store are identical to LoadFile.
+func (m *Measurements) LoadFileWorkers(path string, workers int) error {
+	workers = resolveReplayWorkers(workers)
+	if workers <= 1 {
+		return m.LoadFile(path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	br := bytes.NewReader(data)
+	hdr := make([]byte, len(storeHeader))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("store: read header: %w", err)
+	}
+	if !bytes.Equal(hdr, storeHeader) {
+		return ErrBadHeader
+	}
+	var countBuf [8]byte
+	if _, err := io.ReadFull(br, countBuf[:]); err != nil {
+		return fmt.Errorf("store: read count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(countBuf[:])
+	off := len(storeHeader) + 8
+
+	// Boundary scan: validate each header and record its span. Any
+	// malformed header is re-decoded in place so the error (and its
+	// "record %d" index) matches what the sequential Load reports.
+	spans := make([]recordSpan, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rest := data[off:]
+		if len(rest) < 30 ||
+			binary.LittleEndian.Uint32(rest[0:]) != recordMagic ||
+			binary.LittleEndian.Uint16(rest[4:]) != recordVersion {
+			_, derr := DecodeRecord(bytes.NewReader(rest))
+			return fmt.Errorf("store: record %d: %w", i, derr)
+		}
+		k := int(binary.LittleEndian.Uint32(rest[26:]))
+		if k < 0 || k > MaxSamplesPerAxis {
+			return fmt.Errorf("store: record %d: %w: implausible sample count %d", i, ErrRecordTooLarge, k)
+		}
+		size := 30 + 6*k
+		if len(rest) < size {
+			_, derr := DecodeRecord(bytes.NewReader(rest))
+			return fmt.Errorf("store: record %d: %w", i, derr)
+		}
+		spans = append(spans, recordSpan{start: off, end: off + size})
+		off += size
+	}
+
+	recs := make([]*Record, len(spans))
+	errs := make([]error, len(spans))
+	par.ForEach(len(spans), workers, func(i int) {
+		recs[i], errs[i] = DecodeRecord(bytes.NewReader(data[spans[i].start:spans[i].end]))
+	})
+	for i, derr := range errs {
+		if derr != nil {
+			return fmt.Errorf("store: record %d: %w", i, derr)
+		}
+	}
+
+	// Group per pump in file-index order — the same append order the
+	// sequential decode loop produces — then install through the shared
+	// helper.
+	fresh := make(map[int][]*Record)
+	for _, rec := range recs {
+		fresh[rec.PumpID] = append(fresh[rec.PumpID], rec)
+	}
+	m.installLoaded(fresh, len(recs))
+	return nil
+}

@@ -392,6 +392,17 @@ func (m *Measurements) Load(r io.Reader) error {
 		fresh[rec.PumpID] = append(fresh[rec.PumpID], rec)
 		loaded++
 	}
+	m.installLoaded(fresh, loaded)
+	return nil
+}
+
+// installLoaded replaces the store's contents with the decoded
+// series. Both the sequential Load and the parallel LoadFileWorkers
+// funnel through here — same sort, same shard replacement, same
+// generation bumps — which is what makes their results byte-identical
+// under a canonical Save. fresh must hold each pump's records in file
+// order.
+func (m *Measurements) installLoaded(fresh map[int][]*Record, loaded int) {
 	for id := range fresh {
 		recs := fresh[id]
 		sort.Slice(recs, func(a, b int) bool {
@@ -416,7 +427,6 @@ func (m *Measurements) Load(r io.Reader) error {
 	}
 	m.count.Store(int64(loaded))
 	metRecordsLoad.Add(uint64(loaded))
-	return nil
 }
 
 // SaveFile writes the store to path atomically: the bytes go to a

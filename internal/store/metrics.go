@@ -29,6 +29,11 @@ var (
 	metCheckpoints    = obs.Default.Counter("vibepm_store_checkpoints_total")
 	metCheckpointDur  = obs.Default.Histogram("vibepm_store_checkpoint_duration_seconds", nil)
 
+	// Recovery phase breakdown: snapshot decode and WAL replay wall
+	// time per OpenDurable, feeding the vibed recovery log line.
+	metRecoverySnapDur   = obs.Default.Histogram("vibepm_store_recovery_snapshot_load_seconds", nil)
+	metRecoveryReplayDur = obs.Default.Histogram("vibepm_store_recovery_replay_seconds", nil)
+
 	// Replication metrics: frames/bytes accepted by follower-side
 	// segment mirrors in this process (internal/cluster drives these).
 	metClusterFramesShipped = obs.Default.Counter("vibepm_cluster_frames_shipped_total")

@@ -312,6 +312,77 @@ func TestMirrorAppendRecordMatchesShippedFrames(t *testing.T) {
 	}
 }
 
+// TestMirrorAppendRecordsMatchesPerRecord proves the batched
+// bootstrap writes byte-identical segment files to the per-record
+// path — the failover batching is a syscall optimization, invisible
+// to replay — including across the internal ~1 MiB flush boundary.
+func TestMirrorAppendRecordsMatchesPerRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	// Big records so the batch crosses mirrorBatchBytes and flushes
+	// more than once: ~6 KiB per frame x 400 ≈ 2.4 MiB.
+	recs := make([]*Record, 400)
+	for i := range recs {
+		recs[i] = randomRecord(rng, i%9, float64(i), 1024)
+	}
+	const seg = 3
+
+	one, err := NewSegmentMirror(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := one.AppendRecord(seg, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := one.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := NewSegmentMirror(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := batch.AppendRecords(seg, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("AppendRecords appended %d, want %d", n, len(recs))
+	}
+	if batch.FramesShipped() != one.FramesShipped() || batch.BytesShipped() != one.BytesShipped() {
+		t.Fatalf("counters diverge: batch %d/%d, per-record %d/%d",
+			batch.FramesShipped(), batch.BytesShipped(), one.FramesShipped(), one.BytesShipped())
+	}
+	if err := batch.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(segmentPath(one.Dir(), seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(segmentPath(batch.Dir(), seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("batched frames differ from per-record frames (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// And the batched mirror replays to exactly the source records.
+	var replayed int
+	if _, err := ReplayWALWorkers(batch.Dir(), func(*Record) error {
+		replayed++
+		return nil
+	}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != len(recs) {
+		t.Fatalf("replayed %d records from batched mirror, want %d", replayed, len(recs))
+	}
+}
+
 // TestMirrorClosedRejectsAppends pins the closed-mirror contract.
 func TestMirrorClosedRejectsAppends(t *testing.T) {
 	m, err := NewSegmentMirror(filepath.Join(t.TempDir(), "m"))

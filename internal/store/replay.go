@@ -1,0 +1,218 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"runtime"
+
+	"vibepm/internal/par"
+)
+
+// Parallel recovery replay.
+//
+// Sequential replay pays three costs per frame: the byte scan (read
+// the header, read the payload), the verification (CRC32C + record
+// decode — the dominant cost, allocations included), and the apply
+// (an idempotent AddUnique insert — cheap). Only the scan is
+// inherently serial: frame boundaries come from the length prefixes,
+// so frame N+1 cannot be located before frame N's header is read. The
+// pipeline therefore splits the work:
+//
+//	scanner  —  reads frames sequentially, batches (payload, CRC,
+//	            end offset) triples; one goroutine, pure I/O
+//	verifiers — CRC-check and decode every frame of a batch across
+//	            the worker pool, results landing by frame index
+//	applier  —  walks the batch IN FRAME ORDER, applying intact
+//	            records and stopping at the first bad frame
+//
+// The ordered apply is the crux of the equivalence argument: the
+// parallel replayer calls apply on exactly the same records, in
+// exactly the same order, as the sequential one — so recovery output
+// is byte-identical by construction, not merely for streams whose
+// apply happens to commute. That matters for one real corner: a
+// duplicate-keyed Add is logged but deduped at apply time, so a WAL
+// can legally hold two frames with the same (pump, day) key and
+// different payloads; first-occurrence-wins must survive
+// parallelization or recovered != acked. Confining the parallelism to
+// verification (which is per-frame pure) keeps every ordering
+// property for free while moving ~90% of the replay cost onto all
+// cores.
+//
+// Truncation semantics are likewise unchanged: a torn header or short
+// payload stops the scanner; a CRC or decode failure stops the
+// applier at that frame's start offset; either way goodBytes is the
+// end of the last intact applied frame and the repair pass truncates
+// there, exactly as the sequential path would.
+
+const (
+	// replayBatchFrames and replayBatchBytes bound one scanner→verifier
+	// handoff: enough frames to amortize the fan-out, few enough bytes
+	// that a replay never holds more than ~2 batches of payloads.
+	replayBatchFrames = 512
+	replayBatchBytes  = 4 << 20
+)
+
+// replayFrame is one scanned frame awaiting verification.
+type replayFrame struct {
+	payload []byte
+	wantCRC uint32
+	// end is the byte offset just past this frame in the segment.
+	end int64
+}
+
+// replayBatch is one scanner→verifier→applier unit.
+type replayBatch struct {
+	frames []replayFrame
+	recs   []*Record // verification output, by frame index
+	bad    []bool    // CRC or decode failure, by frame index
+	// truncated reports that the scan hit a torn or corrupt header
+	// right after these frames (mutually exclusive with a clean EOF).
+	truncated bool
+}
+
+// ReplayWALWorkers is ReplayWAL with an explicit verification worker
+// count: segments are scanned sequentially (frame boundaries are
+// serial by format) while CRC checks and record decoding fan out
+// across workers; apply is always called in frame order, from a
+// single goroutine, so the replay is byte-identical to the sequential
+// one whatever the worker count. workers <= 0 selects GOMAXPROCS;
+// workers == 1 is exactly the sequential replayer.
+func ReplayWALWorkers(dir string, apply func(*Record) error, workers int) (ReplayStats, error) {
+	return replayWAL(dir, apply, false, workers)
+}
+
+// replaySegmentWorkers is the parallel counterpart of replaySegment:
+// same inputs, same outputs, same truncation rules, with frame
+// verification fanned across workers.
+func replaySegmentWorkers(path string, apply func(*Record) error, workers int) (goodBytes int64, records int, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("store: wal replay: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, len(walSegHeader))
+	if _, err := io.ReadFull(br, hdr); err != nil || !bytes.Equal(hdr, walSegHeader) {
+		return 0, 0, true, nil
+	}
+	goodBytes = int64(len(walSegHeader))
+
+	batches := make(chan *replayBatch, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+
+	// Scanner: walk the frame chain, copying payloads out of the read
+	// buffer. Any header-level damage (bad magic, implausible length,
+	// short read) ends the segment as truncated — the same conditions
+	// readWALFrame treats as torn.
+	go func() {
+		defer close(batches)
+		off := goodBytes
+		batch := &replayBatch{}
+		flush := func() bool {
+			if len(batch.frames) == 0 && !batch.truncated {
+				return true
+			}
+			select {
+			case batches <- batch:
+				batch = &replayBatch{}
+				return true
+			case <-stop:
+				return false
+			}
+		}
+		var batchBytes int
+		for {
+			var fh [walHeaderLen]byte
+			if _, err := io.ReadFull(br, fh[:]); err != nil {
+				if err != io.EOF {
+					batch.truncated = true
+				}
+				flush()
+				return
+			}
+			if binary.LittleEndian.Uint32(fh[0:]) != walFrameMagic {
+				batch.truncated = true
+				flush()
+				return
+			}
+			n := binary.LittleEndian.Uint32(fh[4:])
+			if n > maxWALPayload {
+				batch.truncated = true
+				flush()
+				return
+			}
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				batch.truncated = true
+				flush()
+				return
+			}
+			off += walHeaderLen + int64(n)
+			batch.frames = append(batch.frames, replayFrame{
+				payload: payload,
+				wantCRC: binary.LittleEndian.Uint32(fh[8:]),
+				end:     off,
+			})
+			batchBytes += int(n)
+			if len(batch.frames) >= replayBatchFrames || batchBytes >= replayBatchBytes {
+				if !flush() {
+					return
+				}
+				batchBytes = 0
+			}
+		}
+	}()
+
+	for batch := range batches {
+		// Verify the whole batch across the pool: CRC first, then the
+		// payload decode — per-frame pure work, safe at any interleaving.
+		n := len(batch.frames)
+		batch.recs = make([]*Record, n)
+		batch.bad = make([]bool, n)
+		par.ForEach(n, workers, func(i int) {
+			fr := batch.frames[i]
+			if crc32.Checksum(fr.payload, crcTable) != fr.wantCRC {
+				batch.bad[i] = true
+				return
+			}
+			rec, derr := DecodeRecord(bytes.NewReader(fr.payload))
+			if derr != nil {
+				// CRC held but the payload is not a record — corruption
+				// that predates framing. Same truncation as sequential.
+				batch.bad[i] = true
+				return
+			}
+			batch.recs[i] = rec
+		})
+		// Apply in frame order, stopping at the first bad frame: frames
+		// behind it are untrusted even if their own CRCs verify.
+		for i := 0; i < n; i++ {
+			if batch.bad[i] {
+				return goodBytes, records, true, nil
+			}
+			if err := apply(batch.recs[i]); err != nil {
+				return goodBytes, records, false, err
+			}
+			records++
+			goodBytes = batch.frames[i].end
+		}
+		if batch.truncated {
+			return goodBytes, records, true, nil
+		}
+	}
+	return goodBytes, records, false, nil
+}
+
+// resolveReplayWorkers maps the workers knob to an effective count.
+func resolveReplayWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}

@@ -711,14 +711,20 @@ func (s ReplayStats) Truncated() bool { return s.Truncations > 0 }
 // arbitrary directory contents: garbage files, short headers and
 // bit-flipped frames all just truncate the affected segment. A
 // missing directory replays nothing.
+//
+// Frame verification (CRC + decode) fans out across GOMAXPROCS
+// workers while apply stays strictly in frame order; see replay.go
+// for the pipeline and ReplayWALWorkers for an explicit worker count.
 func ReplayWAL(dir string, apply func(*Record) error) (ReplayStats, error) {
-	return replayWAL(dir, apply, false)
+	return replayWAL(dir, apply, false, 0)
 }
 
 // replayWAL implements ReplayWAL; with repair set it also physically
 // truncates each damaged segment at its last intact frame, so the torn
-// bytes cannot be re-reported (or misread) by any later scan.
-func replayWAL(dir string, apply func(*Record) error, repair bool) (ReplayStats, error) {
+// bytes cannot be re-reported (or misread) by any later scan. workers
+// <= 0 means GOMAXPROCS; an effective count of 1 runs the sequential
+// replayer.
+func replayWAL(dir string, apply func(*Record) error, repair bool, workers int) (ReplayStats, error) {
 	var stats ReplayStats
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -727,11 +733,22 @@ func replayWAL(dir string, apply func(*Record) error, repair bool) (ReplayStats,
 		}
 		return stats, fmt.Errorf("store: wal replay: %w", err)
 	}
+	workers = resolveReplayWorkers(workers)
 	var buf []byte
 	for _, seg := range segs {
 		stats.Segments++
 		path := segmentPath(dir, seg)
-		goodBytes, n, truncated, rerr := replaySegment(path, &buf, apply)
+		var (
+			goodBytes int64
+			n         int
+			truncated bool
+			rerr      error
+		)
+		if workers > 1 {
+			goodBytes, n, truncated, rerr = replaySegmentWorkers(path, apply, workers)
+		} else {
+			goodBytes, n, truncated, rerr = replaySegment(path, &buf, apply)
+		}
 		stats.Records += n
 		if rerr != nil {
 			return stats, rerr

@@ -10,4 +10,8 @@ var (
 	metHits      = obs.Default.Counter("vibepm_stream_cache_hits_total")
 	metMisses    = obs.Default.Counter("vibepm_stream_cache_misses_total")
 	metEvictions = obs.Default.Counter("vibepm_stream_evictions_total")
+	// metWarmDur is the recovery warm-up wall time — the third leg of
+	// the restart breakdown next to the store's snapshot-load and
+	// WAL-replay histograms.
+	metWarmDur = obs.Default.Histogram("vibepm_stream_warm_duration_seconds", nil)
 )

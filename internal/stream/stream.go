@@ -31,6 +31,7 @@ package stream
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vibepm/internal/feature"
 	"vibepm/internal/par"
@@ -259,20 +260,29 @@ func (ls *LiveState) Fold(rec *store.Record) {
 // Warm pre-folds every record already in the store — the recovery
 // path: after a snapshot load plus WAL replay rebuilds the measurement
 // store, Warm rebuilds the live state so the first queries are already
-// O(new data). Records fan out across workers (0 = GOMAXPROCS).
-// Returns the number of records folded.
+// O(new data). Pumps fan out across workers (<= 0 = GOMAXPROCS;
+// 1 = sequential); each pump's misses are computed inline on its
+// worker, so the fan-out is per pump, not nested. Warm is safe to run
+// concurrently with ingest: folds of fresh appends and warm-time
+// Ensure calls converge on identical feature values, and the cache
+// keeps whichever landed first. Returns the number of records folded.
 func (ls *LiveState) Warm(m *store.Measurements, workers int) int {
 	if m == nil {
 		return 0
 	}
-	var total int
-	for _, pumpID := range m.Pumps() {
-		recs := m.All(pumpID)
-		ls.Ensure(pumpID, recs)
-		total += len(recs)
-	}
-	_ = workers // Ensure fans misses out internally.
-	return total
+	start := time.Now()
+	pumps := m.Pumps()
+	var total atomic.Int64
+	par.ForEach(len(pumps), workers, func(i int) {
+		recs := m.All(pumps[i])
+		// Misses compute inline (workers=1): the pump fan-out above
+		// already owns the parallelism, and nesting pools would
+		// oversubscribe the cores recovery is trying to saturate.
+		ls.ensure(pumps[i], recs, 1)
+		total.Add(int64(len(recs)))
+	})
+	metWarmDur.Observe(time.Since(start).Seconds())
+	return int(total.Load())
 }
 
 // ResetPump drops one pump's cached features — the maintenance-event
@@ -314,6 +324,13 @@ func (ls *LiveState) Reset() {
 // cache entries orphaned by a store reload when the cache has grown
 // past twice the live series.
 func (ls *LiveState) Ensure(pumpID int, recs []*store.Record) []*Feat {
+	return ls.ensure(pumpID, recs, 0)
+}
+
+// ensure implements Ensure with an explicit worker count for the
+// miss fan-out — Warm passes 1 so its per-pump workers compute misses
+// inline instead of nesting pools.
+func (ls *LiveState) ensure(pumpID int, recs []*store.Record, workers int) []*Feat {
 	ps := ls.pump(pumpID)
 	out := make([]*Feat, len(recs))
 	var missIdx []int
@@ -329,7 +346,7 @@ func (ls *LiveState) Ensure(pumpID int, recs []*store.Record) []*Feat {
 	if len(missIdx) > 0 {
 		metMisses.Add(uint64(len(missIdx)))
 		base := ls.baseline.Load()
-		feats := par.Map(len(missIdx), 0, func(j int) *Feat {
+		feats := par.Map(len(missIdx), workers, func(j int) *Feat {
 			return ls.computeFeat(recs[missIdx[j]], base)
 		})
 		ps.mu.Lock()
