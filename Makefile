@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs race-wal race-stream race-cluster race-compact race-recovery bench bench-dsp bench-snapshot bench-check load-smoke load-cluster experiments experiments-paper chaos crash-trials cover fuzz clean
+.PHONY: all build test vet race race-obs race-wal race-stream race-cluster race-compact race-recovery race-faults golden-faults bench bench-dsp bench-snapshot bench-check load-smoke load-cluster experiments experiments-paper chaos crash-trials cover fuzz clean
 
 all: build vet test
 
@@ -57,6 +57,21 @@ race-recovery:
 	$(GO) test -race -run 'TestWarmWorkerInvariance|TestWarmConcurrentIngest' -count=1 ./internal/stream/
 	$(GO) test -race -run 'TestClusterCrashParallelReplayMatchesSequential' -count=1 ./internal/cluster/
 
+# The fault-taxonomy suite under the race detector: the live-vs-batch
+# fault report equivalence over randomized ingestion orders, the
+# copy-on-write spec update through the live cache, and the detector's
+# stream-fold memoization.
+race-faults:
+	$(GO) test -race -run 'TestFaultReport' -count=1 .
+	$(GO) test -race -run 'TestFault' -count=1 ./internal/stream/ ./internal/feature/
+
+# The golden classification harness: the pinned labelled corpus must
+# classify byte-identically to testdata/faults_golden.json, with zero
+# healthy false positives and 100% per-class detection at severity 1.0.
+# Regenerate the fixtures with `go test -run FaultGolden -update .`
+golden-faults:
+	$(GO) test -run 'TestFaultGolden' -count=1 -v .
+
 # The tiered-storage suite under the race detector: the compaction
 # crash-point sweep (hot ∪ cold == acked at every partition-write byte
 # offset), the tiered checkpoint/retention tests, and the hot/cold
@@ -73,23 +88,23 @@ bench:
 bench-dsp:
 	$(GO) test -bench=. -benchmem ./internal/dsp/
 
-# Refresh the committed hot-path snapshot. BENCH_PR9.json is the
-# current full-suite snapshot (the PR2-PR8 cases plus the recovery
-# pipeline cases: WAL replay, live warm-up, failover bootstrap); the
-# earlier BENCH_PR*.json files are kept as the historical records of
-# the earlier passes. Volatile cases (per-op fsync) run but are
-# excluded from the written file.
+# Refresh the committed hot-path snapshot. BENCH_PR10.json is the
+# current full-suite snapshot (the PR2-PR9 cases plus the fault
+# taxonomy cases: full-record fault classification and the
+# envelope-spectrum primitive); the earlier BENCH_PR*.json files are
+# kept as the historical records of the earlier passes. Volatile cases
+# (per-op fsync) run but are excluded from the written file.
 bench-snapshot:
-	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR9.json
+	$(GO) run ./cmd/vibebench -bench -benchout BENCH_PR10.json
 
 # Re-run the hot-path suite once and fail if any case drifts more than
 # ±30% from the committed snapshot (or regresses its allocation count
-# or a gated p99). BENCH_PR9.json covers the full suite with numbers
+# or a gated p99). BENCH_PR10.json covers the full suite with numbers
 # this machine can currently reproduce; -benchgate accepts a
 # comma-separated list when gating several snapshots at once. Failures
 # print a per-case diff (seed value, measured value, ratio).
 bench-check:
-	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR9.json
+	$(GO) run ./cmd/vibebench -bench -benchgate BENCH_PR10.json
 
 # End-to-end throughput smoke: boot vibed -simulate, drive it with the
 # vibebench closed-loop read mix, and fail unless requests succeed.
@@ -130,6 +145,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzTransfer -fuzztime=30s ./internal/flush/
 	$(GO) test -fuzz=FuzzLiveIngest -fuzztime=30s ./internal/stream/
 	$(GO) test -fuzz=FuzzRingRoute -fuzztime=30s ./internal/cluster/
+	$(GO) test -fuzz=FuzzImportRecord -fuzztime=30s ./internal/dataset/
 
 clean:
 	$(GO) clean ./...

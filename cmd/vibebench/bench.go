@@ -218,7 +218,12 @@ func benchSuite() ([]benchCase, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(cases, pr9...), nil
+	cases = append(cases, pr9...)
+	pr10, err := benchSuitePR10()
+	if err != nil {
+		return nil, err
+	}
+	return append(cases, pr10...), nil
 }
 
 // baselineFor looks a case up across the per-PR baseline maps.

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"vibepm/internal/dsp"
+	"vibepm/internal/feature"
+	"vibepm/internal/mems"
+	"vibepm/internal/physics"
+	"vibepm/internal/store"
+)
+
+// benchSuitePR10 assembles the fault-taxonomy cases: the full
+// per-record fault classification (three periodograms, rotor harmonics,
+// envelope spectrum, defect-band scoring) at a large capture size, and
+// the envelope-spectrum primitive it leans on. The corpus is one
+// deterministic bearing-fault capture, built once outside the timings.
+func benchSuitePR10() ([]benchCase, error) {
+	const (
+		samples = 16384
+		fs      = 4000.0
+	)
+	base := physics.NewPump(physics.PumpConfig{ID: 1, Seed: 210, LifeDays: 600})
+	faulty := physics.NewFaultyPump(base, physics.FaultConfig{
+		Class:    physics.FaultBearing,
+		Defect:   physics.DefectOuterRace,
+		Severity: 0.6,
+	})
+	sensor, err := mems.New(mems.Config{Seed: 211, SampleRateHz: fs})
+	if err != nil {
+		return nil, fmt.Errorf("bench: fault sensor: %w", err)
+	}
+	m := sensor.Measure(faulty, 90, samples)
+	rec := &store.Record{
+		PumpID:       1,
+		ServiceDays:  90,
+		SampleRateHz: m.SampleRateHz,
+		ScaleG:       m.ScaleG,
+		Raw:          m.Raw,
+	}
+	spec := feature.MachineSpec{RotorHz: base.RotorHz()}
+
+	cases := []benchCase{
+		{"FaultDetect16k", func(b *testing.B) {
+			b.ReportAllocs()
+			for b.Loop() {
+				rep := feature.DetectRecord(rec, spec, feature.FaultOptions{})
+				if rep.Class != physics.FaultBearing {
+					b.Fatalf("classified %v, want bearing", rep.Class)
+				}
+			}
+		}},
+		{"EnvelopeSpectrum4096", func(b *testing.B) {
+			x := benchSignal(4096)
+			b.ReportAllocs()
+			for b.Loop() {
+				if _, _, err := dsp.EnvelopeSpectrum(x, fs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	return cases, nil
+}

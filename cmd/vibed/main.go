@@ -52,6 +52,7 @@ func main() {
 		ckptEvery    = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period for -wal-dir")
 		syncEvery    = flag.Duration("fsync-interval", time.Second, "WAL fsync period under -fsync interval")
 		clusterN     = flag.Int("cluster", 0, "run N in-process nodes behind consistent-hash routing (needs -wal-dir; data plane only)")
+		faults       = flag.Bool("faults", true, "classify measurements into the rotating-machine fault taxonomy (serves /api/v1/pumps/{id}/faults)")
 
 		tiered        = flag.Bool("tiered", false, "compact history beyond the hot window into compressed cold partitions (needs -wal-dir)")
 		coldDir       = flag.String("cold-dir", "", "cold partition directory (default <wal-dir>/cold)")
@@ -197,6 +198,12 @@ func main() {
 			eng.AttachCold(c)
 		}
 	}
+	if *faults {
+		// Fleet-default machine spec: rotor speed estimated per spectrum,
+		// default bearing geometry. Enabled before the live state so every
+		// warm-up fold classifies once, at fold time.
+		eng.EnableFaults(vibepm.MachineSpec{}, vibepm.FaultOptions{})
+	}
 	// The incremental analysis path: fold every recovered measurement
 	// once up front (the warm-up), then keep the cache current from the
 	// ingest endpoint, so trend and fleet queries stay O(new data).
@@ -240,6 +247,9 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/api/v1/analysis/", restapi.NewAnalysis(eng, ageOf))
 	apiOpts := []restapi.Option{restapi.WithMaxBodyBytes(*maxBodyBytes), restapi.WithLive(live)}
+	if *faults {
+		apiOpts = append(apiOpts, restapi.WithFaults(eng))
+	}
 	if durable != nil {
 		apiOpts = append(apiOpts, restapi.WithDurable(durable))
 	}

@@ -75,6 +75,11 @@ type Engine struct {
 	trendMu    sync.Mutex
 	trendCache map[int]trendCacheEntry
 
+	// detector, when non-nil, classifies measurements into the
+	// rotating-machine fault taxonomy (EnableFaults). Immutable value;
+	// spec updates swap in a copy-on-write successor.
+	detector *feature.FaultDetector
+
 	// live, when non-nil, is the incremental feature cache: expensive
 	// per-record transforms (PSD, harmonic peaks, D_a) are folded once —
 	// at ingest on the live path, lazily on first analysis otherwise —

@@ -1,0 +1,254 @@
+package dataset
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"vibepm/internal/store"
+)
+
+// ImportOptions parameterizes ImportCSV.
+type ImportOptions struct {
+	// PumpID is assigned to every imported record.
+	PumpID int
+	// SampleRateHz overrides the capture rate. Zero means infer it from
+	// the time column; files without a time column must set it.
+	SampleRateHz float64
+	// StartServiceDays is the service time of the first imported record;
+	// subsequent records advance by their own duration.
+	StartServiceDays float64
+	// SamplesPerRecord segments the waveform into fixed-size records
+	// (default 1024, the paper's measurement size). A trailing partial
+	// segment is dropped.
+	SamplesPerRecord int
+	// ScaleG is the counts-to-g quantization scale. Zero means auto:
+	// the peak absolute acceleration maps to ~30000 counts, keeping
+	// headroom inside int16 while using most of its resolution.
+	ScaleG float64
+}
+
+// Import errors. All parse failures wrap ErrImport so callers can
+// distinguish malformed input from I/O trouble.
+var (
+	ErrImport          = errors.New("dataset: import")
+	ErrImportNoSamples = fmt.Errorf("%w: not enough samples for one record", ErrImport)
+)
+
+// importMaxRows bounds how many sample rows one import accepts; it
+// mirrors the store codec's per-record ceiling across a whole file so a
+// malformed (or adversarial) input cannot balloon memory.
+const importMaxRows = 4 << 20
+
+// ImportCSV reads an external lab-dataset-shaped waveform export — one
+// sample per row, numeric columns — and segments it into store records
+// that flow through the same detectors as native captures. The column
+// convention is inferred from the (consistent) field count:
+//
+//	1 column:  x
+//	2 columns: time, x
+//	3 columns: x, y, z
+//	4 columns: time, x, y, z
+//
+// Acceleration columns are in g. Fields may be separated by commas,
+// semicolons, tabs or spaces. A single leading header row and lines
+// starting with '#' are skipped. Every accepted value must be finite;
+// anything else rejects the file with a line-numbered error — rows are
+// either parsed exactly or the import fails, never silently mangled.
+func ImportCSV(r io.Reader, opt ImportOptions) ([]*store.Record, error) {
+	if opt.SamplesPerRecord <= 0 {
+		opt.SamplesPerRecord = 1024
+	}
+	if opt.SamplesPerRecord > store.MaxSamplesPerAxis {
+		return nil, fmt.Errorf("%w: %d samples per record exceeds the codec limit %d",
+			ErrImport, opt.SamplesPerRecord, store.MaxSamplesPerAxis)
+	}
+
+	var (
+		times   []float64
+		axes    [3][]float64
+		cols    = 0 // field count fixed by the first data row
+		header  = false
+		lineNo  = 0
+		scanned = 0
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitFields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		vals, err := parseFields(fields)
+		if err != nil {
+			// A non-numeric first content row is a header; anywhere else
+			// it is a malformed row.
+			if scanned == 0 && !header {
+				header = true
+				continue
+			}
+			return nil, fmt.Errorf("%w: line %d: %v", ErrImport, lineNo, err)
+		}
+		if cols == 0 {
+			cols = len(fields)
+			if cols > 4 {
+				return nil, fmt.Errorf("%w: line %d: %d columns (want 1, 2, 3 or 4)", ErrImport, lineNo, cols)
+			}
+		}
+		if len(fields) != cols {
+			return nil, fmt.Errorf("%w: line %d: %d columns, want %d", ErrImport, lineNo, len(fields), cols)
+		}
+		if scanned >= importMaxRows {
+			return nil, fmt.Errorf("%w: more than %d sample rows", ErrImport, importMaxRows)
+		}
+		switch cols {
+		case 1:
+			axes[0] = append(axes[0], vals[0])
+		case 2:
+			times = append(times, vals[0])
+			axes[0] = append(axes[0], vals[1])
+		case 3:
+			for a := 0; a < 3; a++ {
+				axes[a] = append(axes[a], vals[a])
+			}
+		case 4:
+			times = append(times, vals[0])
+			for a := 0; a < 3; a++ {
+				axes[a] = append(axes[a], vals[a+1])
+			}
+		}
+		scanned++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrImport, err)
+	}
+	if scanned < opt.SamplesPerRecord {
+		return nil, fmt.Errorf("%w (have %d, want %d)", ErrImportNoSamples, scanned, opt.SamplesPerRecord)
+	}
+
+	fs := opt.SampleRateHz
+	if fs <= 0 {
+		inferred, err := inferSampleRate(times)
+		if err != nil {
+			return nil, err
+		}
+		fs = inferred
+	}
+
+	scale := opt.ScaleG
+	if scale <= 0 {
+		scale = autoScale(axes)
+	}
+
+	// Pad the mono/stereo layouts with silent axes so every record has
+	// the native 3-axis shape.
+	for a := 1; a < 3; a++ {
+		if axes[a] == nil {
+			axes[a] = make([]float64, scanned)
+		}
+	}
+
+	k := opt.SamplesPerRecord
+	n := scanned / k
+	recDays := float64(k) / fs / 86400
+	out := make([]*store.Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := &store.Record{
+			PumpID:       opt.PumpID,
+			ServiceDays:  opt.StartServiceDays + float64(i)*recDays,
+			SampleRateHz: fs,
+			ScaleG:       scale,
+		}
+		for a := 0; a < 3; a++ {
+			rec.Raw[a] = quantize(axes[a][i*k:(i+1)*k], scale)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// splitFields tokenizes one data row on any mix of the common
+// delimiters.
+func splitFields(line string) []string {
+	return strings.FieldsFunc(line, func(r rune) bool {
+		return r == ',' || r == ';' || r == '\t' || r == ' '
+	})
+}
+
+// parseFields parses every field as a finite float64.
+func parseFields(fields []string) ([]float64, error) {
+	vals := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d %q is not a number", i+1, f)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("field %d %q is not finite", i+1, f)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// inferSampleRate derives the capture rate from the time column: the
+// mean sample period over the whole span, guarded against non-monotonic
+// or constant time stamps.
+func inferSampleRate(times []float64) (float64, error) {
+	if len(times) < 2 {
+		return 0, fmt.Errorf("%w: no time column and no SampleRateHz given", ErrImport)
+	}
+	span := times[len(times)-1] - times[0]
+	if span <= 0 {
+		return 0, fmt.Errorf("%w: time column is not increasing (span %g)", ErrImport, span)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return 0, fmt.Errorf("%w: time column goes backwards at row %d", ErrImport, i+1)
+		}
+	}
+	return float64(len(times)-1) / span, nil
+}
+
+// autoScale picks a counts-to-g scale that maps the waveform's peak to
+// ~30000 counts. An all-zero waveform gets a nominal MEMS scale so the
+// records remain decodable.
+func autoScale(axes [3][]float64) float64 {
+	peak := 0.0
+	for a := 0; a < 3; a++ {
+		for _, v := range axes[a] {
+			if av := math.Abs(v); av > peak {
+				peak = av
+			}
+		}
+	}
+	if peak == 0 {
+		return 100.0 / 32768 // the native MEMS full-scale
+	}
+	return peak / 30000
+}
+
+// quantize converts one axis segment from g to clamped int16 counts.
+func quantize(g []float64, scale float64) []int16 {
+	out := make([]int16, len(g))
+	for i, v := range g {
+		c := math.Round(v / scale)
+		switch {
+		case c > math.MaxInt16:
+			c = math.MaxInt16
+		case c < math.MinInt16:
+			c = math.MinInt16
+		}
+		out[i] = int16(c)
+	}
+	return out
+}

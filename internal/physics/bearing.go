@@ -1,0 +1,190 @@
+package physics
+
+import (
+	"fmt"
+	"math"
+)
+
+// FaultClass names the standard rotating-machine fault taxonomy the
+// synthesis layer can inject and the detector layer (internal/feature)
+// recognizes: rolling-element bearing defects, rotor imbalance, shaft
+// misalignment, and mechanical looseness. FaultNone is the healthy
+// condition.
+type FaultClass int
+
+const (
+	// FaultNone is the healthy condition (no injected fault).
+	FaultNone FaultClass = iota
+	// FaultBearing is a rolling-element bearing defect: a localized
+	// spall on a race, ball or cage that excites a structural resonance
+	// amplitude-modulated at the defect passing frequency.
+	FaultBearing
+	// FaultImbalance is rotor mass imbalance: a dominant radial 1×
+	// component growing with the square of speed.
+	FaultImbalance
+	// FaultMisalignment is shaft misalignment (angular or parallel): a
+	// dominant 2× component, with strong axial coupling in the angular
+	// case.
+	FaultMisalignment
+	// FaultLooseness is mechanical looseness: half-order sub- and
+	// super-harmonics (0.5×, 1.5×, 2.5×, ...) from intermittent
+	// contact.
+	FaultLooseness
+)
+
+// faultClassNames maps classes to their wire names (MarshalText).
+var faultClassNames = map[FaultClass]string{
+	FaultNone:         "none",
+	FaultBearing:      "bearing",
+	FaultImbalance:    "imbalance",
+	FaultMisalignment: "misalignment",
+	FaultLooseness:    "looseness",
+}
+
+// FaultClasses lists every class in canonical (confusion-matrix) order.
+var FaultClasses = []FaultClass{
+	FaultNone, FaultBearing, FaultImbalance, FaultMisalignment, FaultLooseness,
+}
+
+// String names the fault class.
+func (c FaultClass) String() string {
+	if s, ok := faultClassNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultClass(%d)", int(c))
+}
+
+// MarshalText serializes the class as its lowercase name, so fault
+// reports and golden fixtures read "bearing", not "1".
+func (c FaultClass) MarshalText() ([]byte, error) {
+	return []byte(c.String()), nil
+}
+
+// UnmarshalText parses a class name produced by MarshalText.
+func (c *FaultClass) UnmarshalText(b []byte) error {
+	s := string(b)
+	for class, name := range faultClassNames {
+		if name == s {
+			*c = class
+			return nil
+		}
+	}
+	return fmt.Errorf("physics: unknown fault class %q", s)
+}
+
+// BearingDefect locates a bearing defect on its geometry: each
+// location passes rolling elements at a different characteristic
+// frequency, which is what makes bearing faults separable from the
+// defect side.
+type BearingDefect int
+
+const (
+	// DefectOuterRace is a spall on the stationary outer race (BPFO).
+	DefectOuterRace BearingDefect = iota
+	// DefectInnerRace is a spall on the rotating inner race (BPFI).
+	DefectInnerRace
+	// DefectBall is a spall on a rolling element (BSF).
+	DefectBall
+	// DefectCage is cage wear (FTF).
+	DefectCage
+)
+
+// String names the defect location by its defect-frequency acronym.
+func (d BearingDefect) String() string {
+	switch d {
+	case DefectOuterRace:
+		return "BPFO"
+	case DefectInnerRace:
+		return "BPFI"
+	case DefectBall:
+		return "BSF"
+	case DefectCage:
+		return "FTF"
+	default:
+		return fmt.Sprintf("BearingDefect(%d)", int(d))
+	}
+}
+
+// BearingGeometry describes a rolling-element bearing by the four
+// parameters that fix its defect passing frequencies. The zero value
+// selects DefaultBearing.
+type BearingGeometry struct {
+	// Balls is the number of rolling elements.
+	Balls int
+	// BallDiameterMM is the rolling-element diameter d.
+	BallDiameterMM float64
+	// PitchDiameterMM is the pitch (cage) diameter D.
+	PitchDiameterMM float64
+	// ContactAngleDeg is the contact angle φ (0 for deep-groove).
+	ContactAngleDeg float64
+}
+
+// DefaultBearing is the 6205 deep-groove ball bearing: 9 balls of
+// 7.94 mm on a 39.04 mm pitch diameter, zero contact angle. Its
+// BPFO/BPFI multiples (3.58×, 5.42×) match the wear-driven defect
+// tones the degradation model has always synthesized.
+var DefaultBearing = BearingGeometry{
+	Balls:           9,
+	BallDiameterMM:  7.94,
+	PitchDiameterMM: 39.04,
+	ContactAngleDeg: 0,
+}
+
+// IsZero reports whether the geometry is unset.
+func (g BearingGeometry) IsZero() bool { return g == BearingGeometry{} }
+
+// orDefault substitutes DefaultBearing for the zero value.
+func (g BearingGeometry) orDefault() BearingGeometry {
+	if g.IsZero() {
+		return DefaultBearing
+	}
+	return g
+}
+
+// ratio returns (d/D)·cos φ, the geometric factor of every defect
+// frequency formula.
+func (g BearingGeometry) ratio() float64 {
+	g = g.orDefault()
+	return g.BallDiameterMM / g.PitchDiameterMM * math.Cos(g.ContactAngleDeg*math.Pi/180)
+}
+
+// FTF returns the fundamental train (cage) frequency for a shaft
+// speed: f/2 · (1 − (d/D)cos φ).
+func (g BearingGeometry) FTF(shaftHz float64) float64 {
+	return shaftHz / 2 * (1 - g.ratio())
+}
+
+// BPFO returns the ball pass frequency of the outer race:
+// N·f/2 · (1 − (d/D)cos φ).
+func (g BearingGeometry) BPFO(shaftHz float64) float64 {
+	return float64(g.orDefault().Balls) * g.FTF(shaftHz)
+}
+
+// BPFI returns the ball pass frequency of the inner race:
+// N·f/2 · (1 + (d/D)cos φ).
+func (g BearingGeometry) BPFI(shaftHz float64) float64 {
+	return float64(g.orDefault().Balls) * shaftHz / 2 * (1 + g.ratio())
+}
+
+// BSF returns the ball spin frequency:
+// D·f/(2d) · (1 − ((d/D)cos φ)²).
+func (g BearingGeometry) BSF(shaftHz float64) float64 {
+	g2 := g.orDefault()
+	r := g.ratio()
+	return g2.PitchDiameterMM * shaftHz / (2 * g2.BallDiameterMM) * (1 - r*r)
+}
+
+// DefectHz returns the characteristic frequency of a defect location
+// at the given shaft speed.
+func (g BearingGeometry) DefectHz(d BearingDefect, shaftHz float64) float64 {
+	switch d {
+	case DefectInnerRace:
+		return g.BPFI(shaftHz)
+	case DefectBall:
+		return g.BSF(shaftHz)
+	case DefectCage:
+		return g.FTF(shaftHz)
+	default:
+		return g.BPFO(shaftHz)
+	}
+}

@@ -68,14 +68,25 @@ func (p *Pump) AccelerationInto(ax, ay, az []float64, serviceDays, fs float64) {
 	sc := synthPool.Get().(*synthScratch)
 	defer synthPool.Put(sc)
 	p.specInto(&sc.spec, serviceDays, sc.rng)
-	p.reseedMeasurement(sc.rng, serviceDays, 0xacce1)
+	p.renderInto(ax, ay, az, &sc.spec, serviceDays, fs, sc.rng)
+}
+
+// renderInto synthesizes a spectral recipe into the axis buffers: the
+// tone sum via the phase-recurrence oscillator, the gain-scaled
+// broadband noise, and the axial gravity bias. It is the second half
+// of AccelerationInto, split out so the fault-injection layer
+// (FaultyPump) can append defect tones to the spec and still share the
+// exact sample-domain pipeline — a plain Pump rendered through this
+// path is bit-identical to the pre-split synthesis.
+func (p *Pump) renderInto(ax, ay, az []float64, spec *VibrationSpec, serviceDays, fs float64, rng *rand.Rand) {
+	p.reseedMeasurement(rng, serviceDays, 0xacce1)
 	out := [3][]float64{ax, ay, az}
 	for axis := 0; axis < 3; axis++ {
 		buf := out[axis]
 		for i := range buf {
 			buf[i] = 0
 		}
-		for _, tone := range sc.spec.Tones[axis] {
+		for _, tone := range spec.Tones[axis] {
 			// Tones above Nyquist are not representable; the real
 			// sensor's anti-aliasing behaviour is approximated by
 			// dropping them.
@@ -85,15 +96,15 @@ func (p *Pump) AccelerationInto(ax, ay, az []float64, serviceDays, fs float64) {
 			w := 2 * math.Pi * tone.Freq / fs
 			synthTone(buf, tone.Amp, w, tone.Phase)
 		}
-		noise := sc.spec.NoiseStd[axis]
-		gain := sc.spec.Gain
+		noise := spec.NoiseStd[axis]
+		gain := spec.Gain
 		for i := range buf {
 			// The broadband mechanical noise rides the same load
 			// fluctuation as the tonal content: both are produced by
 			// the rotating assembly, so the whole spectrum scales
 			// together (sensor noise, added in the mems layer, does
 			// not).
-			buf[i] = gain * (buf[i] + noise*sc.rng.NormFloat64())
+			buf[i] = gain * (buf[i] + noise*rng.NormFloat64())
 		}
 	}
 	// Gravity on the axial (z) axis.
@@ -111,7 +122,7 @@ func (p *Pump) specInto(out *VibrationSpec, serviceDays float64, rng *rand.Rand)
 	p.reseedMeasurement(rng, serviceDays, 0x7a11)
 
 	const harmonics = 12
-	base := 0.035 // g at the fundamental for a healthy pump
+	base := baseToneAmp
 	for axis := 0; axis < 3; axis++ {
 		g := axisGains[axis]
 		tones := out.Tones[axis][:0]

@@ -1,0 +1,80 @@
+package restapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"vibepm"
+)
+
+// faultsState is the fault endpoint's wiring: the engine that owns the
+// detector plus the per-pump serialized response cache. Responses are
+// keyed on the pump's series generation — the same discipline as the
+// trend endpoint — so a dashboard polling a pump's fault status between
+// ingests costs a map lookup (or a 304), and an append invalidates
+// exactly the touched pump.
+type faultsState struct {
+	eng  *vibepm.Engine
+	mu   sync.Mutex
+	resp map[int]*cachedResp
+}
+
+// WithFaults attaches a fault-classification engine to the data API:
+// GET /api/v1/pumps/{id}/faults serves the taxonomy classification of
+// the pump's latest measurement. The endpoint answers 404 until
+// EnableFaults has been called on the engine.
+func WithFaults(eng *vibepm.Engine) Option {
+	return func(s *Server) {
+		s.faults = &faultsState{eng: eng, resp: make(map[int]*cachedResp)}
+	}
+}
+
+// handleFaults serves GET /api/v1/pumps/{id}/faults.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	if s.faults == nil {
+		writeErr(w, http.StatusNotFound, "fault classification not configured")
+		return
+	}
+	id, err := pumpID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad pump id")
+		return
+	}
+	fs := s.faults
+	if !fs.eng.FaultsEnabled() {
+		writeErr(w, http.StatusNotFound, "fault classification not enabled")
+		return
+	}
+	gen := s.measurements.Generation(id)
+	if gen == 0 {
+		writeErr(w, http.StatusNotFound, "pump %d has no measurements", id)
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if ent := fs.resp[id]; ent != nil && ent.gen == gen {
+		s.trendCacheHits.Inc()
+		serveCached(w, r, ent)
+		return
+	}
+	s.trendCacheMisses.Inc()
+	status, err := fs.eng.FaultStatus(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	body, err := json.Marshal(status)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode fault status: %v", err)
+		return
+	}
+	ent := &cachedResp{
+		gen:  gen,
+		etag: fmt.Sprintf("\"faults-%d-%d\"", id, gen),
+		body: body,
+	}
+	fs.resp[id] = ent
+	serveCached(w, r, ent)
+}

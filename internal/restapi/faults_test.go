@@ -1,0 +1,129 @@
+package restapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vibepm"
+	"vibepm/internal/mems"
+	"vibepm/internal/physics"
+	"vibepm/internal/store"
+)
+
+// faultsFixture wires a data Server and an engine over one shared
+// measurement store, mirroring the vibed wiring: the server's ingest
+// path and the engine's FaultStatus see the same records and the same
+// per-pump generations.
+func faultsFixture(t *testing.T) (*Server, *vibepm.Engine, *store.Measurements) {
+	t.Helper()
+	m := seedStore(t)
+	labels := store.NewLabels()
+	pm, err := store.NewPeriodManager(store.AnalysisPeriod{StartDays: 0, EndDays: 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := vibepm.NewWithStores(vibepm.Options{}, m, labels)
+	return New(m, labels, pm, WithFaults(eng)), eng, m
+}
+
+func TestFaultsEndpoint(t *testing.T) {
+	s, eng, m := faultsFixture(t)
+
+	// Before EnableFaults the endpoint answers 404.
+	rec, body := get(t, s, "/api/v1/pumps/3/faults")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("pre-enable status %d: %v", rec.Code, body)
+	}
+
+	eng.EnableFaults(vibepm.MachineSpec{}, vibepm.FaultOptions{})
+
+	rec, body = get(t, s, "/api/v1/pumps/3/faults")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if got := int(body["pump_id"].(float64)); got != 3 {
+		t.Fatalf("pump_id = %d", got)
+	}
+	if _, ok := body["class"].(string); !ok {
+		t.Fatalf("class missing: %v", body)
+	}
+	if body["rotor_hz"].(float64) <= 0 {
+		t.Fatalf("rotor_hz = %v", body["rotor_hz"])
+	}
+	etag := rec.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("missing ETag")
+	}
+
+	// Conditional request against the current generation → 304.
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/pumps/3/faults", nil)
+	req.Header.Set("If-None-Match", etag)
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	if rr.Code != http.StatusNotModified {
+		t.Fatalf("conditional status %d", rr.Code)
+	}
+	if rr.Body.Len() != 0 {
+		t.Fatalf("304 carried a body: %q", rr.Body.String())
+	}
+
+	// An append bumps the pump generation: the tag rotates and the
+	// stale conditional request gets a full response again.
+	pump := physics.NewPump(physics.PumpConfig{ID: 3, Seed: 1})
+	sensor, err := mems.New(mems.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := sensor.Measure(pump, 6, 256)
+	nr := &store.Record{PumpID: 3, ServiceDays: 6, SampleRateHz: cap.SampleRateHz, ScaleG: cap.ScaleG}
+	for axis := 0; axis < 3; axis++ {
+		nr.Raw[axis] = cap.Raw[axis]
+	}
+	m.Add(nr)
+
+	req = httptest.NewRequest(http.MethodGet, "/api/v1/pumps/3/faults", nil)
+	req.Header.Set("If-None-Match", etag)
+	rr = httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("post-ingest status %d: %s", rr.Code, rr.Body.String())
+	}
+	if fresh := rr.Header().Get("ETag"); fresh == etag {
+		t.Fatalf("ETag did not rotate after ingest: %s", fresh)
+	}
+
+	// Errors: unknown pump and malformed id.
+	rec, _ = get(t, s, "/api/v1/pumps/99/faults")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown pump status %d", rec.Code)
+	}
+	rec, _ = get(t, s, "/api/v1/pumps/zzz/faults")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", rec.Code)
+	}
+}
+
+func TestFaultsEndpointNotConfigured(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	rec, _ := get(t, s, "/api/v1/pumps/3/faults")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unconfigured status %d", rec.Code)
+	}
+}
+
+func TestFaultsCacheHit(t *testing.T) {
+	s, eng, _ := faultsFixture(t)
+	eng.EnableFaults(vibepm.MachineSpec{}, vibepm.FaultOptions{})
+	r1, b1 := get(t, s, "/api/v1/pumps/3/faults")
+	r2, b2 := get(t, s, "/api/v1/pumps/3/faults")
+	if r1.Code != http.StatusOK || r2.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", r1.Code, r2.Code)
+	}
+	if r1.Header().Get("ETag") != r2.Header().Get("ETag") {
+		t.Fatal("ETag unstable across identical generations")
+	}
+	if b1["class"] != b2["class"] || b1["confidence"] != b2["confidence"] {
+		t.Fatalf("cached body diverged: %v vs %v", b1, b2)
+	}
+}

@@ -38,6 +38,7 @@ type Server struct {
 	live         *stream.LiveState
 	route        ClusterRoute
 	cold         *store.ColdStore
+	faults       *faultsState
 
 	// pyramids caches the per-series downsample pyramid; respCache
 	// holds fully serialized trend responses, both keyed on the series
@@ -140,6 +141,7 @@ func New(m *store.Measurements, l *store.Labels, p *store.PeriodManager, opts ..
 	s.handle("GET /api/v1/pumps/{id}/trend", s.handleTrend)
 	s.handle("POST /api/v1/measurements", s.handleIngest)
 	s.handle("GET /api/v1/pumps/{id}/psd", s.handlePSD)
+	s.handle("GET /api/v1/pumps/{id}/faults", s.handleFaults)
 	s.handle("GET /api/v1/labels", s.handleLabels)
 	s.handle("GET /api/v1/period", s.handleGetPeriod)
 	s.handle("PUT /api/v1/period", s.handlePutPeriod)

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"vibepm/internal/feature"
+	"vibepm/internal/store"
+)
+
+// Fault classification rides the same incremental contract as D_a: the
+// report for a record is computed by the *same* pure function the batch
+// engine calls (FaultDetector.Detect), memoized per record keyed on the
+// detector's pointer identity. Detectors are immutable (WithSpec is
+// copy-on-write), so pointer identity is value identity — exactly the
+// baseline-pointer scheme of the D_a slots.
+
+// faultSlot caches one record's fault report against one detector
+// identity.
+type faultSlot struct {
+	det *feature.FaultDetector
+	rep feature.FaultReport
+}
+
+// faultFor returns the cached report against det, if present.
+func (f *Feat) faultFor(det *feature.FaultDetector) (feature.FaultReport, bool) {
+	for _, s := range f.faults {
+		if s.det == det {
+			return s.rep, true
+		}
+	}
+	return feature.FaultReport{}, false
+}
+
+// putFault caches the report against det, keeping at most the two most
+// recent detector identities (current + the one a spec update
+// replaces).
+func (f *Feat) putFault(det *feature.FaultDetector, rep feature.FaultReport) {
+	for i, s := range f.faults {
+		if s.det == det {
+			f.faults[i] = faultSlot{det: det, rep: rep}
+			return
+		}
+	}
+	if len(f.faults) >= 2 {
+		copy(f.faults, f.faults[1:])
+		f.faults = f.faults[:1]
+	}
+	f.faults = append(f.faults, faultSlot{det: det, rep: rep})
+}
+
+// SetFaultDetector installs (or, with nil, removes) the fault detector:
+// subsequent folds classify at ingest, so fault queries after new data
+// are pure cache reads. Installing a new detector (changed thresholds
+// or machine specs) orphans old slots; they age out of the two-slot
+// window as records are re-queried.
+func (ls *LiveState) SetFaultDetector(d *feature.FaultDetector) { ls.detector.Store(d) }
+
+// FaultDetector returns the installed detector (nil when fault
+// classification is disabled).
+func (ls *LiveState) FaultDetector() *feature.FaultDetector { return ls.detector.Load() }
+
+// FaultReport classifies one record with det, computing and caching on
+// first request. The result is identical to det.Detect(rec) — the
+// batch-equivalence harness pins this across randomized ingestion
+// orders.
+func (ls *LiveState) FaultReport(rec *store.Record, det *feature.FaultDetector) feature.FaultReport {
+	ps := ls.pump(rec.PumpID)
+	ps.mu.Lock()
+	f := ps.feats[rec]
+	if f != nil {
+		if rep, ok := f.faultFor(det); ok {
+			ps.mu.Unlock()
+			metHits.Inc()
+			return rep
+		}
+	}
+	ps.mu.Unlock()
+	metMisses.Inc()
+	// Slow path: the record was never folded, or was folded before this
+	// detector existed. Classify outside the lock, then memo.
+	var nf *Feat
+	if f == nil {
+		nf = ls.computeFeat(rec, ls.baseline.Load())
+	}
+	rep := det.Detect(rec)
+	ps.mu.Lock()
+	if cur := ps.feats[rec]; cur != nil {
+		f = cur
+	} else if nf != nil {
+		ps.feats[rec] = nf
+		ls.size.Add(1)
+		f = nf
+	}
+	if f != nil {
+		f.putFault(det, rep)
+	}
+	ps.mu.Unlock()
+	return rep
+}

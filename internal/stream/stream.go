@@ -97,8 +97,9 @@ type Feat struct {
 	// band.
 	VRMS float64
 
-	harms []harmSlot
-	da    []daSlot
+	harms  []harmSlot
+	da     []daSlot
+	faults []faultSlot
 }
 
 // harmonic returns the cached feature for opt, if present.
@@ -176,6 +177,7 @@ type pumpState struct {
 type LiveState struct {
 	cfg      Config
 	baseline atomic.Pointer[feature.Baseline]
+	detector atomic.Pointer[feature.FaultDetector]
 	shards   [streamShardCount]liveShard
 	size     atomic.Int64
 }
@@ -234,6 +236,9 @@ func (ls *LiveState) computeFeat(rec *store.Record, base *feature.Baseline) *Fea
 		}
 		da, err := base.DaFromHarmonic(h)
 		f.putDa(base, da, err)
+	}
+	if det := ls.detector.Load(); det != nil {
+		f.putFault(det, det.Detect(rec))
 	}
 	metFolds.Inc()
 	return f

@@ -33,6 +33,9 @@ func (e *Engine) EnableLive() *LiveState {
 		if e.baseline != nil {
 			e.live.SetBaseline(e.baseline)
 		}
+		if e.detector != nil {
+			e.live.SetFaultDetector(e.detector)
+		}
 	}
 	return e.live
 }
@@ -44,6 +47,9 @@ func (e *Engine) AttachLive(ls *LiveState) {
 	e.live = ls
 	if ls != nil && e.baseline != nil {
 		ls.SetBaseline(e.baseline)
+	}
+	if ls != nil && e.detector != nil {
+		ls.SetFaultDetector(e.detector)
 	}
 }
 

@@ -21,6 +21,10 @@ type PumpReport struct {
 	HasRUL   bool    `json:"has_rul"`
 	RULDays  float64 `json:"rul_days,omitempty"`
 	ModelIdx int     `json:"model_idx,omitempty"`
+	// Faults carries the fault-taxonomy classification of the latest
+	// measurement when EnableFaults is on (nil otherwise, so reports
+	// from engines without fault detection serialize unchanged).
+	Faults *FaultReport `json:"faults,omitempty"`
 }
 
 // Report summarizes one pump from its most recent stored measurement.
@@ -54,6 +58,10 @@ func (e *Engine) Report(pumpID int, ageOf AgeFunc) (*PumpReport, error) {
 			rep.RULDays = rul
 			rep.ModelIdx = modelIdx
 		}
+	}
+	if e.detector != nil {
+		fr := e.faultReport(rec)
+		rep.Faults = &fr
 	}
 	return rep, nil
 }
